@@ -1,0 +1,404 @@
+//! Centralised snapshot deadlock detection — the class of protocols the
+//! paper's introduction criticises (Gligor & Shattuck \[4\] showed several
+//! published ones incorrect).
+//!
+//! A dedicated **coordinator** node periodically polls every worker for its
+//! outgoing wait-for edges, assembles a global graph from the replies and
+//! searches it for cycles:
+//!
+//! * **one-phase** mode uses each round's union directly. Because replies
+//!   are snapshots taken at different instants, edges from different
+//!   moments can form a cycle that never existed — a *phantom deadlock*.
+//! * **two-phase** mode (after Ho & Ramamoorthy) intersects two consecutive
+//!   rounds and only reports cycles among edges present in both, largely —
+//!   though famously not entirely — suppressing phantoms.
+//!
+//! Experiment E4/E6 measure the phantom rate and the message bill
+//! (2·N messages per round, every round, deadlock or not) against the probe
+//! computation (messages only when waits persist).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::metrics::Metrics;
+use simnet::sim::{Context, NodeId, Process, RunOutcome, SimBuilder, Simulation, TimerId};
+use simnet::time::SimTime;
+use wfg::journal::Journal;
+use wfg::{oracle, WaitForGraph};
+
+use crate::report::{classify, BaselineReport, Classified};
+use crate::substrate::{CoreMsg, CoreState, RequestError};
+
+/// Coordinator snapshot discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Detect on each round's union of replies (unsound: phantoms).
+    OnePhase,
+    /// Detect on the intersection of two consecutive rounds.
+    TwoPhase,
+}
+
+/// Metric-counter names for the centralised detector.
+pub mod counters {
+    /// Snapshot requests sent by the coordinator.
+    pub const SNAP_REQUEST: &str = "central.snap.request";
+    /// Snapshot replies sent by workers.
+    pub const SNAP_REPLY: &str = "central.snap.reply";
+    /// Deadlock reports made by the coordinator.
+    pub const DECLARED: &str = "central.declared";
+}
+
+/// Messages of the centralised scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CentralMsg {
+    /// Underlying request/reply traffic.
+    Core(CoreMsg),
+    /// Coordinator asks a worker for its outgoing edges.
+    SnapRequest {
+        /// Poll round.
+        round: u64,
+    },
+    /// Worker's reply: its current outgoing wait-for edges.
+    SnapReply {
+        /// Poll round being answered.
+        round: u64,
+        /// The worker's outgoing-edge targets at reply time.
+        out_waits: Vec<NodeId>,
+    },
+}
+
+const TAG_SERVE: u64 = 0;
+const TAG_POLL: u64 = 1;
+
+/// A node of the centralised system: worker or coordinator.
+pub enum CentralProcess {
+    /// Runs the underlying computation and answers snapshot polls.
+    Worker(Worker),
+    /// Polls, assembles the global graph, reports cycles.
+    Coordinator(Coordinator),
+}
+
+impl fmt::Debug for CentralProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CentralProcess::Worker(w) => f
+                .debug_struct("Worker")
+                .field("blocked", &w.core.is_blocked())
+                .finish_non_exhaustive(),
+            CentralProcess::Coordinator(c) => f
+                .debug_struct("Coordinator")
+                .field("round", &c.round)
+                .field("reports", &c.reports.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Worker state: the shared substrate plus service bookkeeping.
+#[derive(Debug)]
+pub struct Worker {
+    core: CoreState,
+    service_delay: u64,
+    serve_pending: bool,
+}
+
+/// Coordinator state.
+///
+/// The coordinator detects at every poll tick on the **latest** report it
+/// holds from each worker. Reports were necessarily taken at different
+/// instants — that is precisely the inconsistency that makes one-phase
+/// collection phantom-prone; the two-phase variant only trusts edges
+/// present in two consecutive detection views.
+#[derive(Debug)]
+pub struct Coordinator {
+    n_workers: usize,
+    period: u64,
+    mode: SnapshotMode,
+    round: u64,
+    latest_reply: BTreeMap<NodeId, Vec<NodeId>>,
+    prev_view: Option<BTreeSet<(NodeId, NodeId)>>,
+    currently_reported: BTreeSet<NodeId>,
+    reports: Vec<BaselineReport>,
+}
+
+impl Coordinator {
+    fn detect(&mut self, ctx: &mut Context<'_, CentralMsg>) {
+        let view: BTreeSet<(NodeId, NodeId)> = self
+            .latest_reply
+            .iter()
+            .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+            .collect();
+        let effective: BTreeSet<(NodeId, NodeId)> = match self.mode {
+            SnapshotMode::OnePhase => view.clone(),
+            SnapshotMode::TwoPhase => match &self.prev_view {
+                Some(prev) => view.intersection(prev).copied().collect(),
+                None => BTreeSet::new(),
+            },
+        };
+        self.prev_view = Some(view);
+        // Assemble and search for cycles with the shared graph machinery.
+        let mut g = WaitForGraph::new();
+        for &(a, b) in &effective {
+            g.create_grey(a, b).expect("deduplicated edges");
+            g.blacken(a, b).expect("fresh grey edge");
+        }
+        let members = oracle::dark_cycle_members(&g);
+        // Report newly deadlocked vertices; forget ones whose cycle is gone
+        // (so a later phantom of the same vertex is counted again).
+        for &v in &members {
+            if self.currently_reported.insert(v) {
+                ctx.count(counters::DECLARED);
+                ctx.note(format!("central: {v} reported deadlocked"));
+                self.reports.push(BaselineReport {
+                    detector: ctx.id(),
+                    subject: v,
+                    at: ctx.now(),
+                });
+            }
+        }
+        self.currently_reported
+            .retain(|v| members.contains(v));
+    }
+}
+
+#[allow(clippy::collapsible_match)] // guard has side effects; keep it visible
+impl Process<CentralMsg> for CentralProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_, CentralMsg>) {
+        if let CentralProcess::Coordinator(c) = self {
+            let jitter = ctx.rng().next_below(c.period.max(1));
+            ctx.set_timer(c.period + jitter, TAG_POLL);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, CentralMsg>, from: NodeId, msg: CentralMsg) {
+        match (self, msg) {
+            (CentralProcess::Worker(w), CentralMsg::Core(CoreMsg::Request)) => {
+                if w.core.on_request(ctx.now(), ctx.id(), from) && !w.serve_pending {
+                    w.serve_pending = true;
+                    ctx.set_timer(w.service_delay, TAG_SERVE);
+                }
+            }
+            (CentralProcess::Worker(w), CentralMsg::Core(CoreMsg::Reply)) => {
+                if w.core.on_reply(ctx.now(), ctx.id(), from) && !w.serve_pending {
+                    w.serve_pending = true;
+                    ctx.set_timer(w.service_delay, TAG_SERVE);
+                }
+            }
+            (CentralProcess::Worker(w), CentralMsg::SnapRequest { round }) => {
+                ctx.count(counters::SNAP_REPLY);
+                let out_waits = w.core.out_waits().iter().copied().collect();
+                ctx.send(from, CentralMsg::SnapReply { round, out_waits });
+            }
+            (CentralProcess::Coordinator(c), CentralMsg::SnapReply { round: _, out_waits }) => {
+                // Keep the freshest report per worker; FIFO channels mean a
+                // later-arriving reply is a later snapshot.
+                c.latest_reply.insert(from, out_waits);
+            }
+            // Stray messages (e.g. a late snapshot reply) are ignored.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, CentralMsg>, _timer: TimerId, tag: u64) {
+        match (self, tag) {
+            (CentralProcess::Worker(w), TAG_SERVE) => {
+                w.serve_pending = false;
+                for r in w.core.serve_all(ctx.now(), ctx.id()) {
+                    ctx.send(r, CentralMsg::Core(CoreMsg::Reply));
+                }
+            }
+            (CentralProcess::Coordinator(c), TAG_POLL) => {
+                // Detect on whatever view has accumulated, then poll again.
+                if c.latest_reply.len() == c.n_workers {
+                    c.detect(ctx);
+                }
+                c.round += 1;
+                for i in 0..c.n_workers {
+                    ctx.count(counters::SNAP_REQUEST);
+                    ctx.send(
+                        NodeId(i),
+                        CentralMsg::SnapRequest { round: c.round },
+                    );
+                }
+                ctx.set_timer(c.period, TAG_POLL);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Harness: `n` workers (nodes `0..n`) plus the coordinator (node `n`).
+pub struct CentralNet {
+    sim: Simulation<CentralMsg, CentralProcess>,
+    journal: Rc<RefCell<Journal>>,
+    n_workers: usize,
+}
+
+impl fmt::Debug for CentralNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralNet")
+            .field("workers", &self.n_workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CentralNet {
+    /// Creates the system with `n` workers, a poll `period`, the given
+    /// snapshot `mode` and worker service delay.
+    pub fn new(n: usize, mode: SnapshotMode, period: u64, service_delay: u64, seed: u64) -> Self {
+        Self::with_builder(n, mode, period, service_delay, SimBuilder::new().seed(seed))
+    }
+
+    /// Full builder control (latency, tracing).
+    pub fn with_builder(
+        n: usize,
+        mode: SnapshotMode,
+        period: u64,
+        service_delay: u64,
+        builder: SimBuilder,
+    ) -> Self {
+        let mut sim = builder.build();
+        let journal = Rc::new(RefCell::new(Journal::new()));
+        for _ in 0..n {
+            sim.add_node(CentralProcess::Worker(Worker {
+                core: CoreState::new(Some(Rc::clone(&journal))),
+                service_delay,
+                serve_pending: false,
+            }));
+        }
+        sim.add_node(CentralProcess::Coordinator(Coordinator {
+            n_workers: n,
+            period,
+            mode,
+            round: 0,
+            latest_reply: BTreeMap::new(),
+            prev_view: None,
+            currently_reported: BTreeSet::new(),
+            reports: Vec::new(),
+        }));
+        CentralNet {
+            sim,
+            journal,
+            n_workers: n,
+        }
+    }
+
+    /// Has worker `from` request worker `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RequestError`] (duplicate edge or self-request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is the coordinator node.
+    pub fn request(&mut self, from: NodeId, to: NodeId) -> Result<(), RequestError> {
+        assert!(from.0 < self.n_workers, "cannot request from the coordinator");
+        self.sim.with_node(from, |p, ctx| {
+            let CentralProcess::Worker(w) = p else {
+                unreachable!("node {from} is a worker")
+            };
+            let msg = w.core.request(ctx.now(), ctx.id(), to)?;
+            ctx.send(to, CentralMsg::Core(msg));
+            Ok(())
+        })
+    }
+
+    /// Issues requests for a topology edge list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RequestError`].
+    pub fn request_edges(&mut self, edges: &[(usize, usize)]) -> Result<(), RequestError> {
+        for &(a, b) in edges {
+            self.request(NodeId(a), NodeId(b))?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `deadline` (the coordinator polls forever, so the event
+    /// queue never drains).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// All reports made by the coordinator so far.
+    pub fn reports(&self) -> Vec<BaselineReport> {
+        match self.sim.node(NodeId(self.n_workers)) {
+            CentralProcess::Coordinator(c) => c.reports.clone(),
+            CentralProcess::Worker(_) => unreachable!("last node is the coordinator"),
+        }
+    }
+
+    /// Classifies all reports against the journalled ground truth.
+    pub fn classify_reports(&self) -> Classified {
+        classify(&self.journal.borrow(), &self.reports())
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfg::generators;
+
+    fn deadline(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn detects_a_real_cycle() {
+        for mode in [SnapshotMode::OnePhase, SnapshotMode::TwoPhase] {
+            let mut net = CentralNet::new(4, mode, 50, 5, 1);
+            net.request_edges(&generators::cycle(4)).unwrap();
+            net.run_until(deadline(2_000));
+            let reports = net.reports();
+            assert_eq!(reports.len(), 4, "{mode:?}: all members reported");
+            let c = net.classify_reports();
+            assert_eq!(c.phantom, 0, "{mode:?}: stable cycle is genuine");
+        }
+    }
+
+    #[test]
+    fn quiet_system_reports_nothing() {
+        let mut net = CentralNet::new(5, SnapshotMode::OnePhase, 40, 3, 2);
+        net.request_edges(&generators::chain(5)).unwrap();
+        net.run_until(deadline(3_000));
+        assert!(net.reports().is_empty());
+        // But the polling bill was still paid: rounds * n messages.
+        assert!(net.metrics().get(counters::SNAP_REQUEST) >= 5 * 10);
+    }
+
+    #[test]
+    fn coordinator_cost_scales_with_n_even_when_idle() {
+        let mut small = CentralNet::new(4, SnapshotMode::TwoPhase, 50, 3, 3);
+        let mut large = CentralNet::new(16, SnapshotMode::TwoPhase, 50, 3, 3);
+        small.run_until(deadline(2_000));
+        large.run_until(deadline(2_000));
+        let s = small.metrics().get(counters::SNAP_REQUEST);
+        let l = large.metrics().get(counters::SNAP_REQUEST);
+        assert!(l >= 3 * s, "poll volume should scale with N: {s} vs {l}");
+    }
+
+    #[test]
+    fn two_phase_requires_two_rounds() {
+        let mut net = CentralNet::new(3, SnapshotMode::TwoPhase, 100, 5, 4);
+        net.request_edges(&generators::cycle(3)).unwrap();
+        // After only ~one round, two-phase cannot have declared yet.
+        net.run_until(deadline(120));
+        assert!(net.reports().is_empty());
+        net.run_until(deadline(2_000));
+        assert_eq!(net.reports().len(), 3);
+    }
+}

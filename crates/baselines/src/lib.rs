@@ -1,0 +1,39 @@
+//! # baselines — comparator deadlock detectors
+//!
+//! The paper's introduction cites a field of "at least ten protocols for
+//! deadlock detection [of which] few are correct and fewer appear to be
+//! practical". This crate implements the three classic families so the
+//! evaluation can compare the probe computation against them on identical
+//! workloads (same substrate, same seeds, same latency model):
+//!
+//! * [`central`] — a coordinator periodically collects every node's local
+//!   wait-for edges and searches the union for cycles. One-phase collection
+//!   suffers *phantom deadlocks* (edges from different instants close
+//!   cycles that never existed); the two-phase variant intersects
+//!   consecutive rounds.
+//! * [`pathpush`] — Obermarck-style path pushing: blocked nodes push
+//!   growing paths towards the nodes they wait for; finding yourself in an
+//!   incoming path means a cycle. With the origin-is-maximum optimisation
+//!   each cycle is detected exactly once.
+//! * [`timeout`] — waits longer than `T` are presumed deadlocks: free of
+//!   messages, full of false positives under contention.
+//!
+//! All three run the same underlying request/reply computation
+//! ([`substrate::CoreState`]) as `cmh_core::BasicProcess`, journal the true
+//! wait-for graph, and classify their own reports against the ground truth
+//! ([`report::classify`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod central;
+pub mod pathpush;
+pub mod report;
+pub mod substrate;
+pub mod timeout;
+
+pub use central::{CentralNet, SnapshotMode};
+pub use pathpush::PathPushNet;
+pub use report::{classify, BaselineReport, Classified};
+pub use timeout::TimeoutNet;

@@ -1,0 +1,111 @@
+//! Common report type and ground-truth classification for the baseline
+//! detectors.
+//!
+//! Unlike the probe computation (proved sound, QRP2), the baselines can
+//! report **phantom deadlocks**. Each harness journals the true wait-for
+//! graph, so every report can be classified post-hoc: was the subject on a
+//! dark cycle at the moment it was declared deadlocked?
+
+use std::fmt;
+
+use simnet::sim::NodeId;
+use simnet::time::SimTime;
+use wfg::journal::Journal;
+use wfg::oracle;
+
+/// One "deadlock" claim by a baseline detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// The node that made the claim (coordinator, or the subject itself).
+    pub detector: NodeId,
+    /// The vertex claimed to be deadlocked.
+    pub subject: NodeId,
+    /// Claim time.
+    pub at: SimTime,
+}
+
+impl fmt::Display for BaselineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} reports {} deadlocked",
+            self.at, self.detector, self.subject
+        )
+    }
+}
+
+/// Split of reports into genuine and phantom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Classified {
+    /// Reports whose subject was on a dark cycle when declared.
+    pub genuine: usize,
+    /// Reports whose subject was **not** on a dark cycle when declared.
+    pub phantom: usize,
+}
+
+impl Classified {
+    /// Fraction of reports that were phantom (0 if no reports).
+    pub fn phantom_rate(&self) -> f64 {
+        let total = self.genuine + self.phantom;
+        if total == 0 {
+            0.0
+        } else {
+            self.phantom as f64 / total as f64
+        }
+    }
+}
+
+/// Classifies `reports` against the journalled ground truth.
+///
+/// # Panics
+///
+/// Panics if the journal is not a legal G1–G4 history (a harness bug).
+pub fn classify(journal: &Journal, reports: &[BaselineReport]) -> Classified {
+    let mut out = Classified::default();
+    for r in reports {
+        let g = journal
+            .replay_until(r.at)
+            .expect("harness journal must be a legal history");
+        if oracle::is_on_dark_cycle(&g, r.subject) {
+            out.genuine += 1;
+        } else {
+            out.phantom += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfg::journal::GraphOp;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn classify_distinguishes_genuine_from_phantom() {
+        let mut j = Journal::new();
+        j.record(t(1), GraphOp::CreateGrey(n(0), n(1)));
+        j.record(t(2), GraphOp::Blacken(n(0), n(1)));
+        j.record(t(3), GraphOp::CreateGrey(n(1), n(0)));
+        j.record(t(4), GraphOp::Blacken(n(1), n(0)));
+        let reports = [
+            BaselineReport { detector: n(9), subject: n(0), at: t(2) }, // not yet a cycle
+            BaselineReport { detector: n(9), subject: n(0), at: t(4) }, // now deadlocked
+        ];
+        let c = classify(&j, &reports);
+        assert_eq!(c, Classified { genuine: 1, phantom: 1 });
+        assert!((c.phantom_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reports_zero_rate() {
+        let c = classify(&Journal::new(), &[]);
+        assert_eq!(c.phantom_rate(), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared underlying computation for the baseline detectors.
+//!
+//! Every baseline must run the *same* request/reply computation as
+//! [`cmh_core::process::BasicProcess`] so that message-count and latency
+//! comparisons are apples-to-apples: the workload generator issues the same
+//! requests, the service discipline is the same, and only the detection
+//! protocol on top differs. [`CoreState`] factors that computation out;
+//! each baseline embeds it and forwards its request/reply messages.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use simnet::sim::NodeId;
+use simnet::time::SimTime;
+use wfg::journal::{GraphOp, Journal};
+
+pub use cmh_core::process::RequestError;
+
+/// The underlying computation's messages (identical semantics to the basic
+/// model's `Request`/`Reply`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMsg {
+    /// Creates a grey edge (sender → recipient); blackens on receipt.
+    Request,
+    /// Whitens the edge at send; deletes it at receipt.
+    Reply,
+}
+
+/// Request/reply bookkeeping shared by all baseline processes.
+///
+/// The owner is responsible for transport and timers; `CoreState` returns
+/// the messages to send and tracks the wait-for edges (journalling them for
+/// ground-truth validation).
+#[derive(Debug)]
+pub struct CoreState {
+    out_waits: BTreeSet<NodeId>,
+    in_black: BTreeSet<NodeId>,
+    journal: Option<Rc<RefCell<Journal>>>,
+    /// Bumped whenever `out_waits` changes; lets owners detect stale
+    /// blocked-state timers.
+    epoch: u64,
+}
+
+impl CoreState {
+    /// Creates an idle process state.
+    pub fn new(journal: Option<Rc<RefCell<Journal>>>) -> Self {
+        CoreState {
+            out_waits: BTreeSet::new(),
+            in_black: BTreeSet::new(),
+            journal,
+            epoch: 0,
+        }
+    }
+
+    fn record(&self, now: SimTime, op: GraphOp) {
+        if let Some(j) = &self.journal {
+            j.borrow_mut().record(now, op);
+        }
+    }
+
+    /// Registers a request from `me` to `target`; returns the message to
+    /// send.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`cmh_core::process::BasicProcess::request`].
+    pub fn request(&mut self, now: SimTime, me: NodeId, target: NodeId) -> Result<CoreMsg, RequestError> {
+        if target == me {
+            return Err(RequestError::SelfRequest);
+        }
+        if self.out_waits.contains(&target) {
+            return Err(RequestError::AlreadyWaiting { target });
+        }
+        self.out_waits.insert(target);
+        self.epoch += 1;
+        self.record(now, GraphOp::CreateGrey(me, target));
+        Ok(CoreMsg::Request)
+    }
+
+    /// Handles an incoming `Request`; returns `true` if the process is
+    /// currently active (and should therefore schedule service).
+    pub fn on_request(&mut self, now: SimTime, me: NodeId, from: NodeId) -> bool {
+        self.in_black.insert(from);
+        self.record(now, GraphOp::Blacken(from, me));
+        self.out_waits.is_empty()
+    }
+
+    /// Handles an incoming `Reply`; returns `true` if the process just
+    /// became active with requests pending (and should schedule service).
+    pub fn on_reply(&mut self, now: SimTime, me: NodeId, from: NodeId) -> bool {
+        debug_assert!(self.out_waits.contains(&from), "reply without request");
+        self.out_waits.remove(&from);
+        self.epoch += 1;
+        self.record(now, GraphOp::DeleteWhite(me, from));
+        self.out_waits.is_empty() && !self.in_black.is_empty()
+    }
+
+    /// Replies to every pending request if active; returns the recipients
+    /// (empty if blocked).
+    pub fn serve_all(&mut self, now: SimTime, me: NodeId) -> Vec<NodeId> {
+        if !self.out_waits.is_empty() {
+            return Vec::new();
+        }
+        let recipients: Vec<NodeId> = self.in_black.iter().copied().collect();
+        for &r in &recipients {
+            self.record(now, GraphOp::Whiten(r, me));
+        }
+        self.in_black.clear();
+        recipients
+    }
+
+    /// `true` if there are outstanding requests.
+    pub fn is_blocked(&self) -> bool {
+        !self.out_waits.is_empty()
+    }
+
+    /// Current outgoing-edge targets.
+    pub fn out_waits(&self) -> &BTreeSet<NodeId> {
+        &self.out_waits
+    }
+
+    /// Current incoming black edges' tails.
+    pub fn in_black(&self) -> &BTreeSet<NodeId> {
+        &self.in_black
+    }
+
+    /// Wait-state epoch (changes whenever `out_waits` changes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn lifecycle_and_journal() {
+        let j = Rc::new(RefCell::new(Journal::new()));
+        let mut a = CoreState::new(Some(Rc::clone(&j)));
+        let mut b = CoreState::new(Some(Rc::clone(&j)));
+        assert_eq!(a.request(t(1), n(0), n(1)).unwrap(), CoreMsg::Request);
+        assert!(a.is_blocked());
+        assert!(b.on_request(t(2), n(1), n(0)), "b is active");
+        let served = b.serve_all(t(3), n(1));
+        assert_eq!(served, vec![n(0)]);
+        assert!(!a.on_reply(t(4), n(0), n(1)), "nothing pending at a");
+        assert!(!a.is_blocked());
+        let g = j.borrow().replay_all().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(j.borrow().len(), 4);
+    }
+
+    #[test]
+    fn blocked_process_does_not_serve() {
+        let mut a = CoreState::new(None);
+        a.request(t(0), n(0), n(1)).unwrap();
+        a.on_request(t(1), n(0), n(2));
+        assert!(a.serve_all(t(2), n(0)).is_empty());
+        assert_eq!(a.in_black().len(), 1);
+    }
+
+    #[test]
+    fn epoch_tracks_wait_changes() {
+        let mut a = CoreState::new(None);
+        let e0 = a.epoch();
+        a.request(t(0), n(0), n(1)).unwrap();
+        assert_ne!(a.epoch(), e0);
+        let e1 = a.epoch();
+        a.on_reply(t(1), n(0), n(1));
+        assert_ne!(a.epoch(), e1);
+    }
+
+    #[test]
+    fn request_errors_match_basic_model() {
+        let mut a = CoreState::new(None);
+        assert_eq!(a.request(t(0), n(0), n(0)), Err(RequestError::SelfRequest));
+        a.request(t(0), n(0), n(1)).unwrap();
+        assert_eq!(
+            a.request(t(0), n(0), n(1)),
+            Err(RequestError::AlreadyWaiting { target: n(1) })
+        );
+    }
+}

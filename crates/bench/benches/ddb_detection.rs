@@ -1,0 +1,96 @@
+//! End-to-end DDB benchmarks: full §6 runs (transactions + controllers +
+//! probe computation) and the OR-model diffusion, wall-clock per detected
+//! deadlock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cmh_core::ormodel::OrNet;
+use cmh_ddb::{DdbConfig, DdbNet, LockMode, ResourceId, SiteId, Transaction, TransactionId};
+use simnet::sim::NodeId;
+use simnet::time::SimTime;
+
+/// A k-site transaction ring (one guaranteed cross-site deadlock).
+fn ring_workload(db: &mut DdbNet, k: u32) {
+    for i in 0..k {
+        let txn = Transaction::new(TransactionId(i + 1), SiteId(i as usize))
+            .lock(SiteId(i as usize), ResourceId(i as u64), LockMode::Exclusive)
+            .work(10)
+            .lock(
+                SiteId(((i + 1) % k) as usize),
+                ResourceId(((i + 1) % k) as u64),
+                LockMode::Exclusive,
+            );
+        db.submit(txn);
+    }
+}
+
+fn bench_ddb_ring_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddb/ring_detection");
+    group.sample_size(10);
+    for k in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut db = DdbNet::new(k as usize, DdbConfig::detect_only(100), 7);
+                ring_workload(&mut db, k);
+                db.run_until(SimTime::from_ticks(20_000));
+                black_box(db.declarations().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddb_resolution_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddb/resolution");
+    group.sample_size(10);
+    group.bench_function("philosophers5_resolve", |b| {
+        b.iter(|| {
+            let mut db = DdbNet::new(5, DdbConfig::detect_and_resolve(90, 70), 3);
+            for tt in workloads::dining_philosophers(5, 25, 15) {
+                db.submit(tt.txn);
+            }
+            db.run_until(SimTime::from_ticks(100_000));
+            black_box(db.outcomes().len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_or_diffusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("or/knot_diffusion");
+    group.sample_size(10);
+    for k in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut net = OrNet::new(k, None, 1);
+                for i in 0..k {
+                    net.block_on(NodeId(i), [NodeId((i + 1) % k)]).unwrap();
+                }
+                net.initiate(NodeId(0));
+                net.run_to_quiescence(10_000_000);
+                black_box(net.declarations().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_agent_graph_reconstruction(c: &mut Criterion) {
+    // Fixed wedged state; measure the validation-side reconstruction.
+    let mut db = DdbNet::new(8, DdbConfig::detect_only(1_000_000), 5);
+    ring_workload(&mut db, 8);
+    db.run_until(SimTime::from_ticks(5_000));
+    c.bench_function("ddb/agent_graph_reconstruction", |b| {
+        b.iter(|| black_box(db.agent_graph().0.edge_count()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ddb_ring_detection,
+    bench_ddb_resolution_throughput,
+    bench_or_diffusion,
+    bench_agent_graph_reconstruction
+);
+criterion_main!(benches);

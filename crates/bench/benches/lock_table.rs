@@ -1,0 +1,77 @@
+//! Lock-table micro-benchmarks: grant/release churn, queue cascades, and
+//! the intra-controller wait-edge derivation the probe computation leans
+//! on (§6.4 labelling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cmh_ddb::ids::{ResourceId, TransactionId};
+use cmh_ddb::lock::{LockMode, LockTable};
+
+fn bench_uncontended_grant_release(c: &mut Criterion) {
+    c.bench_function("lock/grant_release_uncontended", |b| {
+        let mut lt = LockTable::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let t = TransactionId(i);
+            let r = ResourceId((i % 64) as u64);
+            lt.request(t, r, LockMode::Exclusive);
+            black_box(lt.release(t, r));
+        });
+    });
+}
+
+fn bench_queue_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock/release_cascade");
+    for waiters in [4usize, 32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(waiters), &waiters, |b, &w| {
+            b.iter_with_setup(
+                || {
+                    let mut lt = LockTable::new();
+                    lt.request(TransactionId(0), ResourceId(1), LockMode::Exclusive);
+                    for i in 1..=w as u32 {
+                        lt.request(TransactionId(i), ResourceId(1), LockMode::Shared);
+                    }
+                    lt
+                },
+                |mut lt| {
+                    // One release grants the whole shared batch.
+                    black_box(lt.release(TransactionId(0), ResourceId(1)).len())
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_wait_edges_and_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock/wait_edges");
+    for txns in [16u32, 128] {
+        // Chain of conflicts over a handful of resources.
+        let mut lt = LockTable::new();
+        for i in 0..txns {
+            let r = ResourceId((i % 8) as u64);
+            lt.request(TransactionId(i), r, LockMode::Exclusive);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &lt, |b, lt| {
+            b.iter(|| black_box(lt.wait_edges().len()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reachable_from", txns),
+            &lt,
+            |b, lt| {
+                b.iter(|| black_box(lt.reachable_from(TransactionId(txns - 1)).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended_grant_release,
+    bench_queue_cascade,
+    bench_wait_edges_and_closure
+);
+criterion_main!(benches);

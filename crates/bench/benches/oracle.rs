@@ -1,0 +1,84 @@
+//! Oracle micro-benchmarks: the centralised ground-truth queries that the
+//! validation harness runs after every simulation (Tarjan SCC, permanent
+//! blocking closure, WFGD ground truth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use simnet::rng::DetRng;
+use simnet::sim::NodeId;
+use wfg::{generators, oracle, WaitForGraph};
+
+fn random_graph(n: usize, p: f64, seed: u64) -> WaitForGraph {
+    let mut rng = DetRng::seed_from_u64(seed);
+    generators::realise_black(&generators::random_digraph(n, p, &mut rng))
+}
+
+fn bench_dark_sccs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/dark_sccs");
+    for n in [64usize, 256, 1024] {
+        let g = random_graph(n, 4.0 / n as f64, 7);
+        group.throughput(Throughput::Elements(g.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(oracle::dark_sccs(g).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_permanently_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/permanently_blocked");
+    for n in [64usize, 256, 1024] {
+        let g = random_graph(n, 4.0 / n as f64, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(oracle::permanently_blocked(g).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wfgd_ground_truth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle/wfgd_ground_truth");
+    for cycle_len in [16usize, 128] {
+        let g = generators::realise_black(&generators::cycle_with_tails(cycle_len, 4, cycle_len));
+        group.bench_with_input(BenchmarkId::from_parameter(cycle_len), &g, |b, g| {
+            b.iter(|| black_box(oracle::wfgd_ground_truth(g, NodeId(cycle_len), NodeId(0)).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_journal_replay(c: &mut Criterion) {
+    use wfg::journal::{GraphOp, Journal};
+    let mut journal = Journal::new();
+    let mut t = 0u64;
+    for i in 0..2000usize {
+        let a = NodeId(i % 50);
+        let b = NodeId((i * 7 + 1) % 50);
+        if a == b {
+            continue;
+        }
+        t += 1;
+        let at = simnet::time::SimTime::from_ticks(t);
+        // Full lifecycle so the journal stays legal.
+        if journal.replay_all().unwrap().has_edge(a, b) {
+            continue;
+        }
+        journal.record(at, GraphOp::CreateGrey(a, b));
+        journal.record(at, GraphOp::Blacken(a, b));
+        journal.record(at, GraphOp::Whiten(a, b));
+        journal.record(at, GraphOp::DeleteWhite(a, b));
+    }
+    c.bench_function("journal/replay_2k_ops", |b| {
+        b.iter(|| black_box(journal.replay_all().unwrap().edge_count()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dark_sccs,
+    bench_permanently_blocked,
+    bench_wfgd_ground_truth,
+    bench_journal_replay
+);
+criterion_main!(benches);

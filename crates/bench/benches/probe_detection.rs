@@ -1,0 +1,71 @@
+//! End-to-end probe-computation benchmarks: how long (wall clock) a full
+//! simulated detection takes, from request issue to quiescence, across
+//! system sizes and topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cmh_core::{BasicConfig, BasicNet};
+use wfg::generators;
+
+fn detect_cycle(n: usize) -> usize {
+    let mut net = BasicNet::new(n, BasicConfig::on_block(4), 42);
+    net.request_edges(&generators::cycle(n)).unwrap();
+    net.run_to_quiescence(100_000_000);
+    net.declarations().len()
+}
+
+fn detect_cycle_with_tails(cycle_len: usize) -> usize {
+    let edges = generators::cycle_with_tails(cycle_len, 2, cycle_len);
+    let n = cycle_len + 2 * cycle_len;
+    let mut net = BasicNet::new(n, BasicConfig::on_block(4), 42);
+    net.request_edges(&edges).unwrap();
+    net.run_to_quiescence(100_000_000);
+    net.declarations().len()
+}
+
+fn bench_cycle_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect/cycle");
+    // End-to-end runs are whole simulations; keep sampling lean.
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(detect_cycle(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_with_tails(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect/cycle_with_tails");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(detect_cycle_with_tails(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wfgd(c: &mut Criterion) {
+    // Full §5 propagation on a ring: declaration plus WFGD to fixpoint.
+    let mut group = c.benchmark_group("wfgd/ring");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = BasicNet::new(n, BasicConfig::manual(), 1);
+                net.request_edges(&generators::cycle(n)).unwrap();
+                net.run_to_quiescence(100_000_000);
+                net.with_node(simnet::sim::NodeId(0), |p, ctx| p.initiate(ctx));
+                net.run_to_quiescence(100_000_000);
+                black_box(net.node(simnet::sim::NodeId(0)).wfgd_edges().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_detection, bench_cycle_with_tails, bench_wfgd);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Simulator substrate micro-benchmarks: raw event throughput and RNG
+//! cost, the floor under every experiment in this repository.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use simnet::latency::LatencyModel;
+use simnet::rng::DetRng;
+use simnet::sim::{Context, NodeId, Process, SimBuilder};
+
+#[derive(Debug)]
+struct Token(u64);
+
+struct RingNode {
+    next: NodeId,
+    hops_left: u64,
+}
+
+impl Process<Token> for RingNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+        if ctx.id() == NodeId(0) {
+            ctx.send(self.next, Token(0));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Token>, _from: NodeId, tok: Token) {
+        if self.hops_left > 0 {
+            self.hops_left -= 1;
+            ctx.send(self.next, Token(tok.0 + 1));
+        }
+    }
+}
+
+fn run_ring(nodes: usize, hops: u64) -> u64 {
+    let mut sim = SimBuilder::new()
+        .seed(3)
+        .latency(LatencyModel::Uniform { lo: 1, hi: 10 })
+        .build::<Token, RingNode>();
+    for i in 0..nodes {
+        sim.add_node(RingNode {
+            next: NodeId((i + 1) % nodes),
+            hops_left: hops,
+        });
+    }
+    let out = sim.run_to_quiescence(u64::MAX);
+    out.events
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/ring_token");
+    for hops in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(hops));
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, &hops| {
+            b.iter(|| black_box(run_ring(16, hops)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("next_u64", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    group.bench_function("next_below", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_below(1_000_003)));
+    });
+    group.bench_function("skewed_delay", |b| {
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| black_box(rng.skewed_delay(30)));
+    });
+    group.finish();
+}
+
+fn bench_latency_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency/sample");
+    let models = [
+        ("fixed", LatencyModel::Fixed { ticks: 5 }),
+        ("uniform", LatencyModel::Uniform { lo: 1, hi: 10 }),
+        ("skewed", LatencyModel::Skewed { mean: 10 }),
+        (
+            "bimodal",
+            LatencyModel::Bimodal {
+                fast_lo: 1,
+                fast_hi: 5,
+                slow_lo: 100,
+                slow_hi: 200,
+                slow_prob: 0.1,
+            },
+        ),
+    ];
+    for (name, model) in models {
+        group.bench_function(name, |b| {
+            let mut rng = DetRng::seed_from_u64(2);
+            b.iter(|| black_box(model.sample(&mut rng, NodeId(0), NodeId(1))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_rng, bench_latency_models);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! # cmh-bench — experiment harness
+//!
+//! The paper has no tables or figures; its §4 performance discussion and
+//! §6.7 optimisation are prose claims. Each `exp_*` binary in `src/bin/`
+//! reproduces one claim (or performs the evaluation the paper defers) and
+//! prints a markdown table; `EXPERIMENTS.md` records the output. The
+//! `benches/` directory holds Criterion micro-benchmarks for the hot
+//! paths.
+//!
+//! | binary | claim |
+//! |---|---|
+//! | `exp_probe_bounds` | E1: ≤ 1 probe per edge per computation; ≤ N on cycles (§4.3) |
+//! | `exp_timeout_tradeoff` | E2: initiation-delay T trades computations for latency (§4.3) |
+//! | `exp_state_bounds` | E3: O(N) per-vertex detector state (§4.3) |
+//! | `exp_soundness` | E4: QRP1/QRP2 hold; baselines' phantom rates (§3.5) |
+//! | `exp_ddb_q` | E5: §6.7 Q-optimisation initiates Q, not all-blocked |
+//! | `exp_baselines` | E6: message bill vs centralised / path-pushing / timeout |
+//! | `exp_wfgd` | E7: §5 WFGD sets converge to the oracle closure |
+//! | `exp_cycle_latency` | E8: detection latency grows linearly in cycle length |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use simnet::sim::NodeId;
+use simnet::time::SimTime;
+use wfg::journal::Journal;
+use wfg::oracle;
+
+/// Minimal markdown table builder for experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let inner: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |", inner.join(" | "))
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the markdown to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Earliest time `v` was on a dark cycle, given that it was at `declared_at`
+/// (dark cycles persist, so membership is monotone in time and binary
+/// search over the journal applies). Used to compute detection latency.
+///
+/// # Panics
+///
+/// Panics if `v` is not on a dark cycle at `declared_at` or the journal is
+/// not a legal history.
+pub fn formation_time(journal: &Journal, v: NodeId, declared_at: SimTime) -> SimTime {
+    let entries = journal.entries();
+    let on_cycle_at = |t: SimTime| -> bool {
+        let g = journal.replay_until(t).expect("legal history");
+        oracle::is_on_dark_cycle(&g, v)
+    };
+    assert!(on_cycle_at(declared_at), "subject not deadlocked at declaration");
+    // Binary search over journal entry indices for the first prefix under
+    // which v is on a dark cycle.
+    let mut lo = 0usize; // first lo entries applied: not yet known cyclic
+    let mut hi = entries
+        .iter()
+        .take_while(|&&(t, _)| t <= declared_at)
+        .count();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let mut g = wfg::WaitForGraph::new();
+        for &(_, op) in &entries[..mid] {
+            op.apply(&mut g).expect("legal history");
+        }
+        if oracle::is_on_dark_cycle(&g, v) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if lo == 0 {
+        SimTime::ZERO
+    } else {
+        entries[lo - 1].0
+    }
+}
+
+/// Arithmetic mean of a u64 slice (0 for empty).
+pub fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+/// Sample maximum (0 for empty).
+pub fn max(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfg::journal::GraphOp;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a   | bb |\n|-----|----|\n"));
+        assert!(md.contains("| 333 | 4  |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn formation_time_finds_cycle_closure() {
+        let n = NodeId;
+        let mut j = Journal::new();
+        j.record(SimTime::from_ticks(1), GraphOp::CreateGrey(n(0), n(1)));
+        j.record(SimTime::from_ticks(5), GraphOp::Blacken(n(0), n(1)));
+        j.record(SimTime::from_ticks(9), GraphOp::CreateGrey(n(1), n(0)));
+        j.record(SimTime::from_ticks(12), GraphOp::Blacken(n(1), n(0)));
+        // The dark cycle exists as soon as both edges exist (grey counts).
+        let t = formation_time(&j, n(0), SimTime::from_ticks(40));
+        assert_eq!(t, SimTime::from_ticks(9));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[2, 4]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[3, 9, 1]), 9);
+        assert_eq!(max(&[]), 0);
+    }
+}

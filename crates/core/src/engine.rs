@@ -1,0 +1,372 @@
+//! Assembled basic-model networks with built-in validation.
+//!
+//! [`BasicNet`] wires [`BasicProcess`] vertices into a `simnet` simulation,
+//! journals every wait-for-graph mutation, and can *prove* (per run) the
+//! paper's two properties against the [`wfg::oracle`]:
+//!
+//! * **QRP2 / soundness** ([`BasicNet::verify_soundness`]): every
+//!   declaration happened while the declarer was on a black cycle;
+//! * **QRP1 / completeness** ([`BasicNet::verify_completeness`]): once the
+//!   run quiesces, if a dark cycle exists then some member declared.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::latency::LatencyModel;
+use simnet::metrics::Metrics;
+use simnet::sim::{Context, NodeId, RunOutcome, SimBuilder, Simulation};
+use simnet::time::SimTime;
+use simnet::trace::Trace;
+use wfg::journal::Journal;
+use wfg::{oracle, WaitForGraph};
+
+use crate::config::BasicConfig;
+use crate::probe::DeadlockReport;
+use crate::process::{BasicMsg, BasicProcess, RequestError};
+
+/// A validation failure found by the checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// QRP2 violated: a vertex declared deadlock while not on a black cycle.
+    FalseDeadlock {
+        /// The offending declaration.
+        report: DeadlockReport,
+    },
+    /// QRP1 violated: a dark cycle exists at quiescence but no member of it
+    /// has declared.
+    MissedDeadlock {
+        /// Members of the undetected dark cycle(s).
+        cycle_members: Vec<NodeId>,
+    },
+    /// The journal is not a legal G1–G4 history (a bug in the simulation,
+    /// not in the algorithm).
+    IllegalHistory {
+        /// Human-readable description of the axiom violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::FalseDeadlock { report } =>
+
+                write!(f, "false deadlock: {report} but declarer was not on a black cycle"),
+            ValidationError::MissedDeadlock { cycle_members } => write!(
+                f,
+                "missed deadlock: dark cycle over {cycle_members:?} but no member declared"
+            ),
+            ValidationError::IllegalHistory { detail } => {
+                write!(f, "journal is not a legal G1-G4 history: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A basic-model network: `n` [`BasicProcess`] vertices over a seeded,
+/// latency-modelled, journalled simulation.
+///
+/// # Examples
+///
+/// Detect the 3-cycle deadlock and validate both properties:
+///
+/// ```
+/// use cmh_core::config::BasicConfig;
+/// use cmh_core::engine::BasicNet;
+/// use simnet::sim::NodeId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = BasicNet::new(3, BasicConfig::on_block(5), 42);
+/// for i in 0..3 {
+///     net.request(NodeId(i), NodeId((i + 1) % 3))?;
+/// }
+/// net.run_to_quiescence(100_000);
+/// assert!(!net.declarations().is_empty());
+/// net.verify_soundness()?;
+/// net.verify_completeness()?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct BasicNet {
+    sim: Simulation<BasicMsg, BasicProcess>,
+    journal: Rc<RefCell<Journal>>,
+}
+
+impl fmt::Debug for BasicNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BasicNet")
+            .field("nodes", &self.sim.node_count())
+            .field("now", &self.sim.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BasicNet {
+    /// Creates a network of `n` identically configured vertices with the
+    /// default latency model and the given seed.
+    pub fn new(n: usize, cfg: BasicConfig, seed: u64) -> Self {
+        Self::with_builder(n, cfg, SimBuilder::new().seed(seed))
+    }
+
+    /// Creates a network with full control over the simulation builder
+    /// (latency model, tracing, seed).
+    pub fn with_builder(n: usize, cfg: BasicConfig, builder: SimBuilder) -> Self {
+        let mut sim = builder.build();
+        let journal = Rc::new(RefCell::new(Journal::new()));
+        for _ in 0..n {
+            sim.add_node(BasicProcess::new(cfg).with_journal(Rc::clone(&journal)));
+        }
+        BasicNet { sim, journal }
+    }
+
+    /// Convenience: a network with a specific latency model.
+    pub fn with_latency(n: usize, cfg: BasicConfig, seed: u64, latency: LatencyModel) -> Self {
+        Self::with_builder(n, cfg, SimBuilder::new().seed(seed).latency(latency))
+    }
+
+    /// Has vertex `from` send a request to `to` (drives the underlying
+    /// computation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RequestError`] from the process (duplicate edge or
+    /// self-request).
+    pub fn request(&mut self, from: NodeId, to: NodeId) -> Result<(), RequestError> {
+        self.sim.with_node(from, |p, ctx| p.request(ctx, to))
+    }
+
+    /// Issues requests for every edge in a topology edge list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RequestError`].
+    pub fn request_edges(&mut self, edges: &[(usize, usize)]) -> Result<(), RequestError> {
+        for &(a, b) in edges {
+            self.request(NodeId(a), NodeId(b))?;
+        }
+        Ok(())
+    }
+
+    /// Runs arbitrary driver code against one vertex.
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut BasicProcess, &mut Context<'_, BasicMsg>) -> R,
+    ) -> R {
+        self.sim.with_node(id, f)
+    }
+
+    /// See [`Simulation::run_to_quiescence`].
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
+        self.sim.run_to_quiescence(max_events)
+    }
+
+    /// See [`Simulation::run_until`].
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// Immutable access to a vertex.
+    pub fn node(&self, id: NodeId) -> &BasicProcess {
+        self.sim.node(id)
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.sim.node_count()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// The trace (enable via [`BasicNet::with_builder`]).
+    pub fn trace(&self) -> &Trace {
+        self.sim.trace()
+    }
+
+    /// All deadlock declarations made so far, ordered by time.
+    pub fn declarations(&self) -> Vec<DeadlockReport> {
+        let mut ds: Vec<DeadlockReport> = (0..self.node_count())
+            .flat_map(|i| self.node(NodeId(i)).declarations().to_vec())
+            .collect();
+        ds.sort_by_key(|d| (d.at, d.detector));
+        ds
+    }
+
+    /// A clone of the full mutation journal (for offline analyses such as
+    /// detection-latency measurement).
+    pub fn journal_snapshot(&self) -> Journal {
+        self.journal.borrow().clone()
+    }
+
+    /// Reconstructs the wait-for graph as of time `at` from the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::IllegalHistory`] if the journal violates G1–G4.
+    pub fn graph_at(&self, at: SimTime) -> Result<WaitForGraph, ValidationError> {
+        self.journal
+            .borrow()
+            .replay_until(at)
+            .map_err(|e| ValidationError::IllegalHistory { detail: e.to_string() })
+    }
+
+    /// The wait-for graph right now.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::IllegalHistory`] if the journal violates G1–G4.
+    pub fn current_graph(&self) -> Result<WaitForGraph, ValidationError> {
+        self.graph_at(SimTime::MAX)
+    }
+
+    /// Verifies property QRP2 on everything declared so far: at the moment
+    /// of each declaration, the declarer was on a **black** cycle.
+    ///
+    /// Returns the number of declarations checked.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::FalseDeadlock`] on the first violation, or
+    /// [`ValidationError::IllegalHistory`] if the journal itself is broken.
+    pub fn verify_soundness(&self) -> Result<usize, ValidationError> {
+        let ds = self.declarations();
+        for d in &ds {
+            let g = self.graph_at(d.at)?;
+            if !oracle::is_on_black_cycle(&g, d.detector) {
+                return Err(ValidationError::FalseDeadlock { report: *d });
+            }
+        }
+        Ok(ds.len())
+    }
+
+    /// Verifies property QRP1 at the current instant: for **every** dark
+    /// cycle in the current graph, at least one member has declared.
+    ///
+    /// Call after the run has quiesced (probe computations complete);
+    /// requires an initiation policy under which cycle members initiate
+    /// (e.g. `OnBlock`, where the vertex closing the cycle initiates).
+    ///
+    /// Returns the number of deadlocked vertices found.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::MissedDeadlock`] listing an undetected cycle's
+    /// members, or [`ValidationError::IllegalHistory`].
+    pub fn verify_completeness(&self) -> Result<usize, ValidationError> {
+        let g = self.current_graph()?;
+        let sccs = oracle::dark_sccs(&g);
+        let mut total = 0;
+        for scc in sccs.into_iter().filter(|c| c.len() >= 2) {
+            total += scc.len();
+            let any_declared = scc
+                .iter()
+                .any(|&v| self.node(v).deadlock().is_some());
+            if !any_declared {
+                return Err(ValidationError::MissedDeadlock { cycle_members: scc });
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wfg::generators;
+
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn cycle_detection_is_sound_and_complete() {
+        for k in [2usize, 3, 5, 9] {
+            let mut net = BasicNet::new(k, BasicConfig::on_block(4), k as u64);
+            net.request_edges(&generators::cycle(k)).unwrap();
+            net.run_to_quiescence(1_000_000);
+            let checked = net.verify_soundness().unwrap();
+            assert!(checked >= 1, "k={k}: someone must have declared");
+            assert_eq!(net.verify_completeness().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn dag_workload_produces_no_declarations() {
+        let mut rng = simnet::rng::DetRng::seed_from_u64(8);
+        let edges = generators::random_dag(10, 0.4, &mut rng);
+        let mut net = BasicNet::new(10, BasicConfig::on_block(2), 99);
+        net.request_edges(&edges).unwrap();
+        let out = net.run_to_quiescence(1_000_000);
+        assert!(out.quiescent);
+        assert!(net.declarations().is_empty());
+        assert_eq!(net.verify_soundness().unwrap(), 0);
+        assert_eq!(net.verify_completeness().unwrap(), 0);
+        // Everything resolved: the final graph is empty.
+        assert!(net.current_graph().unwrap().is_empty());
+    }
+
+    #[test]
+    fn figure_eight_detected() {
+        let edges = generators::figure_eight(3, 4);
+        let count = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap() + 1;
+        let mut net = BasicNet::new(count, BasicConfig::on_block(3), 5);
+        net.request_edges(&edges).unwrap();
+        net.run_to_quiescence(1_000_000);
+        net.verify_soundness().unwrap();
+        net.verify_completeness().unwrap();
+    }
+
+    #[test]
+    fn cycle_with_tails_only_cycle_members_declare() {
+        let edges = generators::cycle_with_tails(3, 2, 2);
+        let mut net = BasicNet::new(7, BasicConfig::on_block(3), 6);
+        net.request_edges(&edges).unwrap();
+        net.run_to_quiescence(1_000_000);
+        net.verify_soundness().unwrap();
+        // Tail vertices are permanently blocked but NOT on a cycle; QRP2
+        // means they can never declare.
+        for i in 3..7 {
+            assert!(net.node(n(i)).deadlock().is_none(), "tail vertex {i} declared");
+        }
+        net.verify_completeness().unwrap();
+    }
+
+    #[test]
+    fn graph_at_tracks_colour_evolution() {
+        let mut net = BasicNet::new(2, BasicConfig::manual(), 40);
+        net.request(n(0), n(1)).unwrap();
+        let g0 = net.graph_at(net.now()).unwrap();
+        assert_eq!(g0.colour(n(0), n(1)), Some(wfg::EdgeColour::Grey));
+        net.run_to_quiescence(1_000);
+        let g1 = net.current_graph().unwrap();
+        assert_eq!(g1.colour(n(0), n(1)), Some(wfg::EdgeColour::Black));
+        net.with_node(n(1), |p, ctx| assert_eq!(p.serve_pending(ctx), 1));
+        net.run_to_quiescence(1_000);
+        assert!(net.current_graph().unwrap().is_empty());
+    }
+
+    #[test]
+    fn declarations_sorted_by_time() {
+        // Two independent 2-cycles; declarations from both appear sorted.
+        let mut net = BasicNet::new(4, BasicConfig::on_block(3), 77);
+        net.request_edges(&[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        net.run_to_quiescence(1_000_000);
+        let ds = net.declarations();
+        assert!(ds.len() >= 2);
+        assert!(ds.windows(2).all(|w| w[0].at <= w[1].at));
+        net.verify_soundness().unwrap();
+        assert_eq!(net.verify_completeness().unwrap(), 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! The WFGD computation (§5): propagating wait-for-graph information to
+//! deadlocked vertices.
+//!
+//! After an initiator declares deadlock it knows only *that* it is on a
+//! black cycle, not *which* edges form the deadlocked portion of the graph
+//! — information needed to break the deadlock. The WFGD computation
+//! disseminates it: messages are **sets of edges** on permanent black
+//! paths, flowing backwards along black edges. Each vertex `v_j` maintains
+//! `S_j`, the set of edges it knows to lie on permanent black paths leading
+//! from `v_j`.
+//!
+//! * The initiator `v_i` sends `M = {(v_j, v_i)}` to every `v_j` with a
+//!   black edge `(v_j, v_i)`.
+//! * On receiving `M`, `v_j` sets `S_j := S_j ∪ M`, then for every black
+//!   edge `(v_k, v_j)` sends `M' = {(v_k, v_j)} ∪ S_j` to `v_k` — unless it
+//!   already sent that exact message to `v_k`.
+//!
+//! Because `S_j` grows monotonically within a finite edge set and a vertex
+//! never repeats a message, the computation terminates; at the fixed point
+//! `S_j` equals the oracle closure [`wfg::oracle::wfgd_ground_truth`].
+//!
+//! [`WfgdState`] is a pure state machine — the transport is supplied by the
+//! caller (in this workspace, [`crate::process::BasicProcess`]) — so the
+//! §5 rules are testable in isolation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use simnet::sim::NodeId;
+
+/// A set of wait-for edges, the message payload of the WFGD computation.
+pub type EdgeSet = BTreeSet<(NodeId, NodeId)>;
+
+/// Per-vertex state of the WFGD computation.
+///
+/// # Examples
+///
+/// ```
+/// use cmh_core::wfgd::WfgdState;
+/// use simnet::sim::NodeId;
+///
+/// // The initiator (p0) starts the propagation towards its black
+/// // predecessor p2; p2 folds the message in and passes it on to p1.
+/// let mut initiator = WfgdState::new();
+/// let msgs = initiator.start(NodeId(0), [NodeId(2)]);
+/// assert_eq!(msgs.len(), 1);
+///
+/// let mut p2 = WfgdState::new();
+/// let onward = p2.receive(NodeId(2), &msgs[0].1, [NodeId(1)]);
+/// assert_eq!(onward[0].0, NodeId(1));
+/// assert!(p2.known_edges().contains(&(NodeId(2), NodeId(0))));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WfgdState {
+    s: EdgeSet,
+    last_sent: BTreeMap<NodeId, EdgeSet>,
+}
+
+impl WfgdState {
+    /// Creates the initial state (`S_j = ∅`).
+    pub fn new() -> Self {
+        WfgdState::default()
+    }
+
+    /// The current `S_j`: every edge this vertex knows to be on a permanent
+    /// black path leading from it.
+    pub fn known_edges(&self) -> &EdgeSet {
+        &self.s
+    }
+
+    /// Initiator step: called by `me` right after declaring deadlock.
+    ///
+    /// `black_predecessors` are the tails of this vertex's incoming black
+    /// edges. Returns the `(recipient, message)` pairs to transmit.
+    pub fn start(
+        &mut self,
+        me: NodeId,
+        black_predecessors: impl IntoIterator<Item = NodeId>,
+    ) -> Vec<(NodeId, EdgeSet)> {
+        let mut out = Vec::new();
+        for vj in black_predecessors {
+            let m: EdgeSet = [(vj, me)].into_iter().collect();
+            if self.last_sent.get(&vj) != Some(&m) {
+                self.last_sent.insert(vj, m.clone());
+                out.push((vj, m));
+            }
+        }
+        out
+    }
+
+    /// Receiver step: called when `me` receives WFGD message `msg`.
+    ///
+    /// Folds `msg` into `S_j` and returns the follow-on messages for this
+    /// vertex's current black predecessors (duplicates suppressed).
+    pub fn receive(
+        &mut self,
+        me: NodeId,
+        msg: &EdgeSet,
+        black_predecessors: impl IntoIterator<Item = NodeId>,
+    ) -> Vec<(NodeId, EdgeSet)> {
+        self.s.extend(msg.iter().copied());
+        let mut out = Vec::new();
+        for vk in black_predecessors {
+            let mut m = self.s.clone();
+            m.insert((vk, me));
+            if self.last_sent.get(&vk) != Some(&m) {
+                self.last_sent.insert(vk, m.clone());
+                out.push((vk, m));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+    fn es(edges: &[(usize, usize)]) -> EdgeSet {
+        edges.iter().map(|&(a, b)| (n(a), n(b))).collect()
+    }
+
+    #[test]
+    fn initiator_sends_single_edge_sets() {
+        let mut st = WfgdState::new();
+        let out = st.start(n(0), [n(2), n(4)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (n(2), es(&[(2, 0)])));
+        assert_eq!(out[1], (n(4), es(&[(4, 0)])));
+        // S_i itself stays empty until messages come back.
+        assert!(st.known_edges().is_empty());
+    }
+
+    #[test]
+    fn receiver_accumulates_and_forwards() {
+        let mut st = WfgdState::new();
+        // v2 receives {(2,0)} from the initiator; its black predecessor is v1.
+        let out = st.receive(n(2), &es(&[(2, 0)]), [n(1)]);
+        assert_eq!(out, vec![(n(1), es(&[(1, 2), (2, 0)]))]);
+        assert_eq!(*st.known_edges(), es(&[(2, 0)]));
+    }
+
+    #[test]
+    fn duplicate_messages_suppressed() {
+        let mut st = WfgdState::new();
+        let first = st.receive(n(2), &es(&[(2, 0)]), [n(1)]);
+        assert_eq!(first.len(), 1);
+        // Same message again: S unchanged, so nothing new to send.
+        let second = st.receive(n(2), &es(&[(2, 0)]), [n(1)]);
+        assert!(second.is_empty());
+        // A strictly larger S triggers a fresh send.
+        let third = st.receive(n(2), &es(&[(0, 1)]), [n(1)]);
+        assert_eq!(third, vec![(n(1), es(&[(0, 1), (1, 2), (2, 0)]))]);
+    }
+
+    #[test]
+    fn full_cycle_converges_to_ground_truth() {
+        // Simulated delivery over the black cycle 0 -> 1 -> 2 -> 0:
+        // black predecessors: pred(0)={2}, pred(1)={0}, pred(2)={1}.
+        let mut st = [WfgdState::new(), WfgdState::new(), WfgdState::new()];
+        let pred = |v: usize| -> Vec<NodeId> { vec![n((v + 2) % 3)] };
+        let mut inbox: Vec<(usize, EdgeSet)> = st[0]
+            .start(n(0), pred(0))
+            .into_iter()
+            .map(|(to, m)| (to.0, m))
+            .collect();
+        let mut steps = 0;
+        while let Some((to, m)) = inbox.pop() {
+            steps += 1;
+            assert!(steps < 100, "WFGD failed to terminate");
+            let out = st[to].receive(n(to), &m, pred(to));
+            inbox.extend(out.into_iter().map(|(t, mm)| (t.0, mm)));
+        }
+        let all = es(&[(0, 1), (1, 2), (2, 0)]);
+        for (v, s) in st.iter().enumerate() {
+            assert_eq!(*s.known_edges(), all, "S_{v} incomplete");
+        }
+    }
+
+    #[test]
+    fn initiator_does_not_resend_identical_start() {
+        let mut st = WfgdState::new();
+        assert_eq!(st.start(n(0), [n(1)]).len(), 1);
+        assert!(st.start(n(0), [n(1)]).is_empty());
+    }
+}

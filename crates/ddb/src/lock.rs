@@ -1,0 +1,485 @@
+//! The per-controller lock table.
+//!
+//! The paper deliberately abstracts locking away ("the details regarding
+//! locks and locking protocols are not relevant"), but a concrete lock
+//! manager is what *generates* the wait-for edges of §6.4, so we implement
+//! the standard shared/exclusive model from the Menasce–Muntz and Gray
+//! papers the authors cite:
+//!
+//! * **shared** locks are mutually compatible; **exclusive** locks conflict
+//!   with everything;
+//! * waiters queue FIFO; a request is granted iff it is compatible with all
+//!   current holders *and* no incompatible request is queued ahead of it
+//!   (no overtaking, so writers are not starved);
+//! * a sole shared holder may upgrade to exclusive in place; an upgrade
+//!   that conflicts waits at the **front** of the queue.
+//!
+//! The lock table also *derives the intra-controller wait-for edges*: a
+//! queued transaction waits for every holder it conflicts with and every
+//! queued transaction ahead of it that it conflicts with. These edges are
+//! exactly the (always black, §6.4) intra-controller edges of the paper.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ResourceId, TransactionId};
+
+/// Lock modes: shared (read) or exclusive (write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Read lock; compatible with other shared locks.
+    Shared,
+    /// Write lock; conflicts with everything.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Lock compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => f.write_str("S"),
+            LockMode::Exclusive => f.write_str("X"),
+        }
+    }
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The transaction was queued; it now waits for the listed transactions
+    /// (current conflicting holders and conflicting waiters ahead of it).
+    Queued {
+        /// Transactions this request waits for, in id order.
+        waits_for: Vec<TransactionId>,
+    },
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    holders: BTreeMap<TransactionId, LockMode>,
+    queue: VecDeque<(TransactionId, LockMode)>,
+}
+
+impl Entry {
+    fn compatible_with_holders(&self, txn: TransactionId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(&h, &hm)| h == txn || mode.compatible(hm))
+    }
+}
+
+/// A controller's lock table.
+///
+/// # Examples
+///
+/// ```
+/// use cmh_ddb::ids::{ResourceId, TransactionId};
+/// use cmh_ddb::lock::{LockMode, LockOutcome, LockTable};
+///
+/// let mut lt = LockTable::new();
+/// let (r, t1, t2) = (ResourceId(1), TransactionId(1), TransactionId(2));
+/// assert_eq!(lt.request(t1, r, LockMode::Exclusive), LockOutcome::Granted);
+/// assert_eq!(
+///     lt.request(t2, r, LockMode::Shared),
+///     LockOutcome::Queued { waits_for: vec![t1] }
+/// );
+/// let granted = lt.release(t1, r);
+/// assert_eq!(granted, vec![(t2, LockMode::Shared)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockTable {
+    entries: BTreeMap<ResourceId, Entry>,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Requests `resource` in `mode` for `txn`.
+    ///
+    /// Re-requesting a mode already held (or weaker than held) is granted
+    /// idempotently. A sole-holder shared→exclusive upgrade is granted in
+    /// place; a conflicting upgrade waits at the front of the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn` is already queued for this resource — a transaction
+    /// blocks on one outstanding request per resource.
+    pub fn request(&mut self, txn: TransactionId, resource: ResourceId, mode: LockMode) -> LockOutcome {
+        let e = self.entries.entry(resource).or_default();
+        assert!(
+            !e.queue.iter().any(|&(t, _)| t == txn),
+            "{txn} is already queued for {resource}"
+        );
+        if let Some(&held) = e.holders.get(&txn) {
+            if held == mode || held == LockMode::Exclusive {
+                return LockOutcome::Granted; // idempotent / downgrade-as-held
+            }
+            // Upgrade shared -> exclusive.
+            if e.holders.len() == 1 {
+                e.holders.insert(txn, LockMode::Exclusive);
+                return LockOutcome::Granted;
+            }
+            // Wait at the front: upgrades must not deadlock behind newer
+            // requests they would conflict with anyway.
+            e.queue.push_front((txn, LockMode::Exclusive));
+            let waits_for = Self::blockers_of(e, 0);
+            return LockOutcome::Queued { waits_for };
+        }
+        if e.queue.is_empty() && e.compatible_with_holders(txn, mode) {
+            e.holders.insert(txn, mode);
+            return LockOutcome::Granted;
+        }
+        e.queue.push_back((txn, mode));
+        let pos = e.queue.len() - 1;
+        let waits_for = Self::blockers_of(e, pos);
+        LockOutcome::Queued { waits_for }
+    }
+
+    /// Transactions blocking the queue entry at `pos`: conflicting holders
+    /// plus conflicting waiters ahead of it.
+    fn blockers_of(e: &Entry, pos: usize) -> Vec<TransactionId> {
+        let (txn, mode) = e.queue[pos];
+        let mut out: BTreeSet<TransactionId> = e
+            .holders
+            .iter()
+            .filter(|&(&h, &hm)| h != txn && !mode.compatible(hm))
+            .map(|(&h, _)| h)
+            .collect();
+        for &(ahead, ahead_mode) in e.queue.iter().take(pos) {
+            if ahead != txn && !(mode.compatible(ahead_mode)) {
+                out.insert(ahead);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Releases `txn`'s lock on `resource` (and removes any queued request
+    /// it has there). Returns the requests *newly granted* as a result, in
+    /// grant order.
+    pub fn release(&mut self, txn: TransactionId, resource: ResourceId) -> Vec<(TransactionId, LockMode)> {
+        let Some(e) = self.entries.get_mut(&resource) else {
+            return Vec::new();
+        };
+        e.holders.remove(&txn);
+        e.queue.retain(|&(t, _)| t != txn);
+        let granted = Self::drain_queue(e);
+        if e.holders.is_empty() && e.queue.is_empty() {
+            self.entries.remove(&resource);
+        }
+        granted
+    }
+
+    /// Releases everything `txn` holds or waits for. Returns
+    /// `(resource, newly granted)` pairs.
+    pub fn release_all(&mut self, txn: TransactionId) -> Vec<(ResourceId, Vec<(TransactionId, LockMode)>)> {
+        let resources: Vec<ResourceId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.holders.contains_key(&txn) || e.queue.iter().any(|&(t, _)| t == txn)
+            })
+            .map(|(&r, _)| r)
+            .collect();
+        resources
+            .into_iter()
+            .map(|r| {
+                let granted = self.release(txn, r);
+                (r, granted)
+            })
+            .filter(|(_, g)| !g.is_empty())
+            .collect()
+    }
+
+    /// Grants queued requests from the front while compatible.
+    fn drain_queue(e: &mut Entry) -> Vec<(TransactionId, LockMode)> {
+        let mut granted = Vec::new();
+        while let Some(&(t, m)) = e.queue.front() {
+            if e.compatible_with_holders(t, m) {
+                e.queue.pop_front();
+                // An upgrade replaces the shared hold.
+                e.holders.insert(t, m);
+                granted.push((t, m));
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+
+    /// Resources currently held by `txn`.
+    pub fn held_by(&self, txn: TransactionId) -> Vec<ResourceId> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.holders.contains_key(&txn))
+            .map(|(&r, _)| r)
+            .collect()
+    }
+
+    /// `true` if `txn` is queued (waiting) for `resource`.
+    pub fn is_waiting(&self, txn: TransactionId, resource: ResourceId) -> bool {
+        self.entries
+            .get(&resource)
+            .is_some_and(|e| e.queue.iter().any(|&(t, _)| t == txn))
+    }
+
+    /// `true` if `txn` holds `resource` in any mode.
+    pub fn holds(&self, txn: TransactionId, resource: ResourceId) -> bool {
+        self.entries
+            .get(&resource)
+            .is_some_and(|e| e.holders.contains_key(&txn))
+    }
+
+    /// The intra-controller wait-for edges implied by this table (§6.4):
+    /// `(waiter, holder-or-waiter-ahead)` pairs, deduplicated, in order.
+    ///
+    /// These edges are always black: the controller knows about both
+    /// endpoints locally.
+    pub fn wait_edges(&self) -> BTreeSet<(TransactionId, TransactionId)> {
+        let mut out = BTreeSet::new();
+        for e in self.entries.values() {
+            for pos in 0..e.queue.len() {
+                let (t, _) = e.queue[pos];
+                for b in Self::blockers_of(e, pos) {
+                    out.insert((t, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transactions reachable from `start` along intra-controller wait-for
+    /// edges, **excluding** the trivial empty path — i.e. the paper's
+    /// "label all processes reachable from (T_i, S_j)" closure. `start`
+    /// itself appears in the result iff it lies on a local cycle.
+    pub fn reachable_from(&self, start: TransactionId) -> BTreeSet<TransactionId> {
+        let edges = self.wait_edges();
+        let mut adj: BTreeMap<TransactionId, Vec<TransactionId>> = BTreeMap::new();
+        for &(a, b) in &edges {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut seen = BTreeSet::new();
+        let mut frontier = vec![start];
+        while let Some(v) = frontier.pop() {
+            for &w in adj.get(&v).into_iter().flatten() {
+                if seen.insert(w) {
+                    frontier.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// `true` if `start` lies on a cycle of intra-controller edges.
+    pub fn on_local_cycle(&self, start: TransactionId) -> bool {
+        self.reachable_from(start).contains(&start)
+    }
+
+    /// Total number of held locks (for stats).
+    pub fn held_count(&self) -> usize {
+        self.entries.values().map(|e| e.holders.len()).sum()
+    }
+
+    /// Total number of queued (waiting) requests (for stats).
+    pub fn waiting_count(&self) -> usize {
+        self.entries.values().map(|e| e.queue.len()).sum()
+    }
+
+    /// All transactions currently queued anywhere in this table.
+    pub fn waiting_transactions(&self) -> BTreeSet<TransactionId> {
+        self.entries
+            .values()
+            .flat_map(|e| e.queue.iter().map(|&(t, _)| t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TransactionId {
+        TransactionId(i)
+    }
+    fn r(i: u64) -> ResourceId {
+        ResourceId(i)
+    }
+    use LockMode::{Exclusive as X, Shared as S};
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.request(t(1), r(1), S), LockOutcome::Granted);
+        assert_eq!(lt.request(t(2), r(1), S), LockOutcome::Granted);
+        assert!(lt.holds(t(1), r(1)) && lt.holds(t(2), r(1)));
+        assert!(lt.wait_edges().is_empty());
+    }
+
+    #[test]
+    fn exclusive_conflicts_and_queues_fifo() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        assert_eq!(
+            lt.request(t(2), r(1), X),
+            LockOutcome::Queued { waits_for: vec![t(1)] }
+        );
+        assert_eq!(
+            lt.request(t(3), r(1), S),
+            LockOutcome::Queued { waits_for: vec![t(1), t(2)] }
+        );
+        // Release: t2 granted first (FIFO); t3 conflicts with t2 (X), stays.
+        let g = lt.release(t(1), r(1));
+        assert_eq!(g, vec![(t(2), X)]);
+        assert!(lt.is_waiting(t(3), r(1)));
+        let g = lt.release(t(2), r(1));
+        assert_eq!(g, vec![(t(3), S)]);
+    }
+
+    #[test]
+    fn no_overtaking_past_queued_writer() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), S);
+        lt.request(t(2), r(1), X); // queued behind holder
+        // A shared request would be compatible with the holder, but must
+        // not overtake the queued writer.
+        assert_eq!(
+            lt.request(t(3), r(1), S),
+            LockOutcome::Queued { waits_for: vec![t(2)] }
+        );
+    }
+
+    #[test]
+    fn batch_grant_of_compatible_readers() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(1), S);
+        lt.request(t(3), r(1), S);
+        let g = lt.release(t(1), r(1));
+        assert_eq!(g, vec![(t(2), S), (t(3), S)]);
+    }
+
+    #[test]
+    fn idempotent_re_request() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        assert_eq!(lt.request(t(1), r(1), X), LockOutcome::Granted);
+        assert_eq!(lt.request(t(1), r(1), S), LockOutcome::Granted); // weaker
+    }
+
+    #[test]
+    fn sole_holder_upgrade_in_place() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), S);
+        assert_eq!(lt.request(t(1), r(1), X), LockOutcome::Granted);
+        // Now exclusive: a shared request queues.
+        assert!(matches!(lt.request(t(2), r(1), S), LockOutcome::Queued { .. }));
+    }
+
+    #[test]
+    fn contended_upgrade_waits_at_front() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), S);
+        lt.request(t(2), r(1), S);
+        // t1 wants to upgrade: must wait for t2 but jumps any later queue.
+        assert_eq!(
+            lt.request(t(1), r(1), X),
+            LockOutcome::Queued { waits_for: vec![t(2)] }
+        );
+        let g = lt.release(t(2), r(1));
+        assert_eq!(g, vec![(t(1), X)]);
+        assert!(lt.holds(t(1), r(1)));
+    }
+
+    #[test]
+    fn release_all_returns_cascade() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(1), r(2), X);
+        lt.request(t(2), r(1), X);
+        lt.request(t(3), r(2), X);
+        let granted = lt.release_all(t(1));
+        let mut flat: Vec<(ResourceId, TransactionId)> = granted
+            .iter()
+            .flat_map(|(res, g)| g.iter().map(move |&(tx, _)| (*res, tx)))
+            .collect();
+        flat.sort();
+        assert_eq!(flat, vec![(r(1), t(2)), (r(2), t(3))]);
+        assert!(lt.held_by(t(1)).is_empty());
+    }
+
+    #[test]
+    fn release_removes_queued_request_too() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(1), X);
+        lt.release(t(2), r(1)); // t2 gives up waiting
+        let g = lt.release(t(1), r(1));
+        assert!(g.is_empty());
+        assert_eq!(lt.waiting_count(), 0);
+        assert_eq!(lt.held_count(), 0);
+    }
+
+    #[test]
+    fn wait_edges_reflect_blockers() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(1), X);
+        lt.request(t(3), r(1), X);
+        let edges = lt.wait_edges();
+        assert!(edges.contains(&(t(2), t(1))));
+        assert!(edges.contains(&(t(3), t(1))));
+        assert!(edges.contains(&(t(3), t(2))));
+    }
+
+    #[test]
+    fn local_cycle_via_two_resources() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(2), X);
+        lt.request(t(1), r(2), X); // t1 waits for t2
+        lt.request(t(2), r(1), X); // t2 waits for t1: local deadlock
+        assert!(lt.on_local_cycle(t(1)));
+        assert!(lt.on_local_cycle(t(2)));
+        assert_eq!(lt.reachable_from(t(1)), [t(1), t(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn no_cycle_when_waits_are_acyclic() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(1), X);
+        assert!(!lt.on_local_cycle(t(1)));
+        assert!(!lt.on_local_cycle(t(2)));
+        assert_eq!(lt.reachable_from(t(2)), [t(1)].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn double_queue_panics() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(1), X);
+        lt.request(t(2), r(1), X);
+    }
+
+    #[test]
+    fn waiting_transactions_listed() {
+        let mut lt = LockTable::new();
+        lt.request(t(1), r(1), X);
+        lt.request(t(2), r(1), S);
+        lt.request(t(3), r(2), X);
+        assert_eq!(lt.waiting_transactions(), [t(2)].into_iter().collect());
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulation metrics: message and event counters keyed by kind.
+//!
+//! Experiments in `EXPERIMENTS.md` report message volume per message kind
+//! (probe, request, reply, WFGD set, snapshot, ...). Processes classify
+//! their own traffic by calling [`crate::sim::Context::count`] with a kind
+//! string; the simulator additionally maintains built-in totals.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counter bundle for one simulation run.
+///
+/// Kind strings are free-form; `BTreeMap` keeps reports deterministically
+/// ordered.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::metrics::Metrics;
+///
+/// let mut m = Metrics::new();
+/// m.inc("probe.sent");
+/// m.add("probe.sent", 2);
+/// assert_eq!(m.get("probe.sent"), 3);
+/// assert_eq!(m.sum_prefix("probe."), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+}
+
+/// Built-in counter names maintained by the simulator itself.
+pub mod builtin {
+    /// Total messages sent (any kind).
+    pub const MESSAGES_SENT: &str = "sim.messages_sent";
+    /// Total messages delivered.
+    pub const MESSAGES_DELIVERED: &str = "sim.messages_delivered";
+    /// Total timers fired.
+    pub const TIMERS_FIRED: &str = "sim.timers_fired";
+    /// Total events processed by the scheduler.
+    pub const EVENTS: &str = "sim.events";
+}
+
+impl Metrics {
+    /// Creates an empty metric set.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `n` to the counter named `kind`, creating it at zero if absent.
+    pub fn add(&mut self, kind: &str, n: u64) {
+        *self.counters.entry(kind.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments the counter named `kind` by one.
+    pub fn inc(&mut self, kind: &str) {
+        self.add(kind, 1);
+    }
+
+    /// Returns the value of the counter named `kind` (zero if never touched).
+    pub fn get(&self, kind: &str) -> u64 {
+        self.counters.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(kind, value)` pairs in lexicographic kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sums all counters whose name starts with `prefix`.
+    ///
+    /// Useful for aggregating per-node counters such as `probe.sent.*`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Merges another metric set into this one, summing shared counters.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Resets every counter to zero (removes them).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return write!(f, "(no metrics)");
+        }
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_default_zero() {
+        let mut m = Metrics::new();
+        assert_eq!(m.get("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.get("x"), 5);
+    }
+
+    #[test]
+    fn sum_prefix_aggregates_only_matching() {
+        let mut m = Metrics::new();
+        m.add("probe.sent.0", 2);
+        m.add("probe.sent.1", 3);
+        m.add("probe.recv.0", 7);
+        m.add("prober", 100);
+        assert_eq!(m.sum_prefix("probe.sent."), 5);
+        assert_eq!(m.sum_prefix("probe."), 12);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Metrics::new();
+        a.add("x", 1);
+        let mut b = Metrics::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut m = Metrics::new();
+        m.inc("k");
+        let s = m.to_string();
+        assert!(s.contains('k') && s.contains('1'));
+        assert_eq!(Metrics::new().to_string(), "(no metrics)");
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut m = Metrics::new();
+        m.inc("b");
+        m.inc("a");
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

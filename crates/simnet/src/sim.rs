@@ -1,0 +1,823 @@
+//! Deterministic discrete-event simulation of message-passing processes.
+//!
+//! The simulator provides exactly the communication guarantees the paper's
+//! process axioms assume and nothing more:
+//!
+//! * **P4**: every message is delivered after an arbitrary *finite* delay
+//!   (drawn from a [`LatencyModel`]);
+//! * **ordered channels** (used by P1/P2): messages between the same ordered
+//!   pair of nodes are delivered in the order sent, because a channel clock
+//!   prevents a later message from overtaking an earlier one;
+//! * **atomic steps**: a process handles one event at a time, so the
+//!   algorithm's note that "each step A0, A1, A2, once started, must be
+//!   completed before the process can send or receive other messages" holds
+//!   by construction.
+//!
+//! Determinism: with the same seed, topology and workload, a run produces an
+//! identical event sequence, trace and metrics.
+//!
+//! # Examples
+//!
+//! A two-node ping-pong:
+//!
+//! ```
+//! use simnet::sim::{Context, NodeId, Process, SimBuilder};
+//!
+//! struct Pinger { peer: NodeId, remaining: u32 }
+//!
+//! impl Process<u32> for Pinger {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+//!         if ctx.id() == NodeId(0) {
+//!             ctx.send(self.peer, 0);
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: NodeId, n: u32) {
+//!         if self.remaining > 0 {
+//!             self.remaining -= 1;
+//!             ctx.send(self.peer, n + 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = SimBuilder::new().seed(1).build::<u32, Pinger>();
+//! let a = sim.add_node(Pinger { peer: NodeId(1), remaining: 3 });
+//! let b = sim.add_node(Pinger { peer: NodeId(0), remaining: 3 });
+//! assert_eq!((a, b), (NodeId(0), NodeId(1)));
+//! let outcome = sim.run_to_quiescence(1_000);
+//! assert!(outcome.quiescent);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::latency::LatencyModel;
+use crate::metrics::{builtin, Metrics};
+use crate::rng::DetRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// Identifies a simulated process (a vertex of the wait-for graph).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a pending timer, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// A simulated process.
+///
+/// All messages of a simulation share one payload type `M`; heterogeneous
+/// systems (e.g. controllers plus a coordinator) use an enum payload and an
+/// enum process.
+pub trait Process<M> {
+    /// Called once when the simulation starts (before any message delivery).
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message addressed to this process is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set by this process fires (unless cancelled).
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+}
+
+enum EventKind<M> {
+    Start(NodeId),
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break by sequence number, giving a deterministic total order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Everything a process may touch while handling an event.
+///
+/// Obtained only as an argument to [`Process`] callbacks or
+/// [`Simulation::with_node`].
+pub struct Context<'a, M> {
+    node: NodeId,
+    core: &'a mut Core<M>,
+}
+
+impl<M> fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("now", &self.core.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, M: fmt::Debug> Context<'a, M> {
+    /// The id of the process handling the current event.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.core.node_count
+    }
+
+    /// Sends `msg` to `to`; it will be delivered after a latency-model delay,
+    /// in FIFO order with respect to other messages on the same channel.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.core.send(self.node, to, msg);
+    }
+
+    /// Schedules `on_timer` to run after `delay` ticks with the given tag.
+    pub fn set_timer(&mut self, delay: u64, tag: u64) -> TimerId {
+        self.core.set_timer(self.node, delay, tag)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id);
+    }
+
+    /// Increments the metric counter named `kind`.
+    pub fn count(&mut self, kind: &str) {
+        self.core.metrics.inc(kind);
+    }
+
+    /// Adds `n` to the metric counter named `kind`.
+    pub fn count_n(&mut self, kind: &str, n: u64) {
+        self.core.metrics.add(kind, n);
+    }
+
+    /// Records a free-form trace annotation (no-op when tracing is off).
+    pub fn note(&mut self, text: impl Into<String>) {
+        let at = self.core.now;
+        let node = self.node;
+        self.core.trace.push(TraceEvent::Note {
+            at,
+            node,
+            text: text.into(),
+        });
+    }
+
+    /// Deterministic random source for this simulation.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.core.rng
+    }
+
+    /// Stops the simulation after the current event completes.
+    pub fn halt(&mut self) {
+        self.core.halted = true;
+    }
+}
+
+struct Core<M> {
+    now: SimTime,
+    queue: BinaryHeap<Event<M>>,
+    seq: u64,
+    channel_clock: HashMap<(NodeId, NodeId), SimTime>,
+    latency: LatencyModel,
+    rng: DetRng,
+    metrics: Metrics,
+    trace: Trace,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    halted: bool,
+    node_count: usize,
+    fifo: bool,
+}
+
+impl<M: fmt::Debug> Core<M> {
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let delay = self.latency.sample(&mut self.rng, from, to);
+        let deliver_at = if self.fifo {
+            // FIFO discipline: never schedule a delivery earlier than the
+            // last one on the same channel. Equal times are untied by `seq`.
+            let clock = self
+                .channel_clock
+                .entry((from, to))
+                .or_insert(SimTime::ZERO);
+            let at = (*clock).max(self.now + delay);
+            *clock = at;
+            at
+        } else {
+            // Ablation mode: messages may overtake each other, violating
+            // the paper's ordered-delivery assumption (see SimBuilder::fifo).
+            self.now + delay
+        };
+        self.metrics.inc(builtin::MESSAGES_SENT);
+        if self.trace.is_enabled() {
+            let summary = summarize(&msg);
+            self.trace.push(TraceEvent::Send {
+                at: self.now,
+                from,
+                to,
+                deliver_at,
+                summary,
+            });
+        }
+        self.push(deliver_at, EventKind::Deliver { from, to, msg });
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: u64, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay.max(1);
+        self.push(at, EventKind::Timer { node, id, tag });
+        id
+    }
+}
+
+fn summarize<M: fmt::Debug>(msg: &M) -> String {
+    let mut s = format!("{msg:?}");
+    if s.len() > 160 {
+        s.truncate(157);
+        s.push_str("...");
+    }
+    s
+}
+
+/// Result of driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunOutcome {
+    /// Number of events processed by this call.
+    pub events: u64,
+    /// `true` if the event queue drained completely.
+    pub quiescent: bool,
+    /// `true` if a process called [`Context::halt`].
+    pub halted: bool,
+}
+
+/// Configures and creates a [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    latency: LatencyModel,
+    seed: u64,
+    trace: bool,
+    fifo: bool,
+}
+
+impl SimBuilder {
+    /// Starts a builder with default latency (uniform 1..=10), seed 0,
+    /// tracing off and FIFO channels on.
+    pub fn new() -> Self {
+        SimBuilder {
+            latency: LatencyModel::default(),
+            seed: 0,
+            trace: false,
+            fifo: true,
+        }
+    }
+
+    /// Enables or disables per-channel FIFO delivery.
+    ///
+    /// FIFO is **on by default** and is part of the paper's model
+    /// ("messages are received correctly and in order"; axioms P1/P2 rest
+    /// on it). Turning it off deliberately *breaks* the model — it exists
+    /// for the ablation experiment that demonstrates the probe
+    /// computation's guarantees genuinely depend on ordered channels.
+    pub fn fifo(mut self, enabled: bool) -> Self {
+        self.fifo = enabled;
+        self
+    }
+
+    /// Sets the message latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables event tracing.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Builds an empty simulation; add processes with
+    /// [`Simulation::add_node`].
+    pub fn build<M: fmt::Debug, P: Process<M>>(self) -> Simulation<M, P> {
+        Simulation {
+            core: Core {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                channel_clock: HashMap::new(),
+                latency: self.latency,
+                rng: DetRng::seed_from_u64(self.seed),
+                metrics: Metrics::new(),
+                trace: Trace::new(self.trace),
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                halted: false,
+                node_count: 0,
+                fifo: self.fifo,
+            },
+            procs: Vec::new(),
+            started: false,
+        }
+    }
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        SimBuilder::new()
+    }
+}
+
+/// A deterministic discrete-event simulation over processes of type `P`
+/// exchanging messages of type `M`.
+pub struct Simulation<M, P> {
+    core: Core<M>,
+    procs: Vec<P>,
+    started: bool,
+}
+
+impl<M, P> fmt::Debug for Simulation<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.core.now)
+            .field("nodes", &self.procs.len())
+            .field("pending_events", &self.core.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
+    /// Adds a process and returns its id (ids are dense, starting at 0).
+    pub fn add_node(&mut self, process: P) -> NodeId {
+        let id = NodeId(self.procs.len());
+        self.procs.push(process);
+        self.core.node_count = self.procs.len();
+        id
+    }
+
+    /// Number of processes.
+    pub fn node_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Accumulated metrics for this run.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// The event trace (empty unless tracing was enabled at build time).
+    pub fn trace(&self) -> &Trace {
+        &self.core.trace
+    }
+
+    /// Immutable access to a process's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.procs[id.0]
+    }
+
+    /// Runs `f` against a process with a live [`Context`], at the current
+    /// virtual time. This is how drivers inject work (e.g. "start a
+    /// transaction now") without a fake network message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R) -> R {
+        self.ensure_started();
+        let mut ctx = Context {
+            node: id,
+            core: &mut self.core,
+        };
+        f(&mut self.procs[id.0], &mut ctx)
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.procs.len() {
+            self.core.push(SimTime::ZERO, EventKind::Start(NodeId(i)));
+        }
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(ev) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.core.now, "time must not run backwards");
+        self.core.now = ev.at;
+        self.core.metrics.inc(builtin::EVENTS);
+        match ev.kind {
+            EventKind::Start(node) => {
+                let mut ctx = Context {
+                    node,
+                    core: &mut self.core,
+                };
+                self.procs[node.0].on_start(&mut ctx);
+            }
+            EventKind::Deliver { from, to, msg } => {
+                self.core.metrics.inc(builtin::MESSAGES_DELIVERED);
+                if self.core.trace.is_enabled() {
+                    let summary = summarize(&msg);
+                    let at = self.core.now;
+                    self.core
+                        .trace
+                        .push(TraceEvent::Deliver { at, from, to, summary });
+                }
+                let mut ctx = Context {
+                    node: to,
+                    core: &mut self.core,
+                };
+                self.procs[to.0].on_message(&mut ctx, from, msg);
+            }
+            EventKind::Timer { node, id, tag } => {
+                if self.core.cancelled.remove(&id) {
+                    return true; // cancelled: consumed silently
+                }
+                self.core.metrics.inc(builtin::TIMERS_FIRED);
+                let at = self.core.now;
+                self.core.trace.push(TraceEvent::Timer { at, node, tag });
+                let mut ctx = Context {
+                    node,
+                    core: &mut self.core,
+                };
+                self.procs[node.0].on_timer(&mut ctx, id, tag);
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains, a process halts, or `max_events` events
+    /// have been processed (a liveness backstop for buggy protocols).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
+        let mut outcome = RunOutcome::default();
+        while outcome.events < max_events {
+            if self.core.halted {
+                outcome.halted = true;
+                return outcome;
+            }
+            if !self.step() {
+                outcome.quiescent = true;
+                return outcome;
+            }
+            outcome.events += 1;
+        }
+        outcome.halted = self.core.halted;
+        outcome
+    }
+
+    /// Runs until virtual time exceeds `deadline`, the queue drains, or a
+    /// process halts. Events scheduled at exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.ensure_started();
+        let mut outcome = RunOutcome::default();
+        loop {
+            if self.core.halted {
+                outcome.halted = true;
+                return outcome;
+            }
+            match self.core.queue.peek() {
+                None => {
+                    // Idle time still passes: a driver that advances to `t`
+                    // and injects work must see the clock at `t`.
+                    self.core.now = self.core.now.max(deadline);
+                    outcome.quiescent = true;
+                    return outcome;
+                }
+                Some(ev) if ev.at > deadline => {
+                    // Advance the clock to the deadline so repeated calls
+                    // observe monotone time.
+                    self.core.now = deadline;
+                    return outcome;
+                }
+                Some(_) => {
+                    self.step();
+                    outcome.events += 1;
+                }
+            }
+        }
+    }
+
+    /// True if no events remain.
+    pub fn is_quiescent(&self) -> bool {
+        self.core.queue.is_empty()
+    }
+
+    /// True if a process requested a halt.
+    pub fn is_halted(&self) -> bool {
+        self.core.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+    }
+
+    struct Echo {
+        peer: NodeId,
+        sent: u32,
+        received: Vec<u32>,
+        limit: u32,
+        start: bool,
+    }
+
+    impl Process<Msg> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if self.start {
+                ctx.send(self.peer, Msg::Ping(self.sent));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            let Msg::Ping(n) = msg;
+            self.received.push(n);
+            if n < self.limit {
+                ctx.send(self.peer, Msg::Ping(n + 1));
+            }
+        }
+    }
+
+    fn pair(seed: u64) -> Simulation<Msg, Echo> {
+        let mut sim = SimBuilder::new().seed(seed).trace(true).build();
+        sim.add_node(Echo {
+            peer: NodeId(1),
+            sent: 0,
+            received: vec![],
+            limit: 10,
+            start: true,
+        });
+        sim.add_node(Echo {
+            peer: NodeId(0),
+            sent: 0,
+            received: vec![],
+            limit: 10,
+            start: false,
+        });
+        sim
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_counts() {
+        let mut sim = pair(1);
+        let out = sim.run_to_quiescence(1_000);
+        assert!(out.quiescent);
+        // 0,2,4,6,8,10 received by node 1; 1,3,5,7,9 by node 0.
+        assert_eq!(sim.node(NodeId(1)).received, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(sim.node(NodeId(0)).received, vec![1, 3, 5, 7, 9]);
+        assert_eq!(sim.metrics().get(builtin::MESSAGES_SENT), 11);
+        assert_eq!(sim.metrics().get(builtin::MESSAGES_DELIVERED), 11);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mut a = pair(7);
+        let mut b = pair(7);
+        a.run_to_quiescence(1_000);
+        b.run_to_quiescence(1_000);
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn different_seed_usually_different_schedule() {
+        let mut a = pair(1);
+        let mut b = pair(2);
+        a.run_to_quiescence(1_000);
+        b.run_to_quiescence(1_000);
+        assert_ne!(a.trace().events(), b.trace().events());
+    }
+
+    struct Flood {
+        everyone: Vec<NodeId>,
+        order: Vec<(NodeId, u32)>,
+    }
+    impl Process<Msg> for Flood {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.id() == NodeId(0) {
+                for k in 0..5u32 {
+                    for &n in &self.everyone.clone() {
+                        if n != ctx.id() {
+                            ctx.send(n, Msg::Ping(k));
+                        }
+                    }
+                }
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            let Msg::Ping(n) = msg;
+            self.order.push((from, n));
+        }
+    }
+
+    #[test]
+    fn non_fifo_mode_allows_overtaking() {
+        // With wide latency spread and FIFO off, at least one of the
+        // sequenced messages overtakes another.
+        let mut sim = SimBuilder::new()
+            .seed(4)
+            .fifo(false)
+            .latency(LatencyModel::Uniform { lo: 1, hi: 200 })
+            .build::<Msg, Flood>();
+        let everyone: Vec<NodeId> = (0..2).map(NodeId).collect();
+        for _ in 0..2 {
+            sim.add_node(Flood {
+                everyone: everyone.clone(),
+                order: vec![],
+            });
+        }
+        sim.run_to_quiescence(10_000);
+        let seqs: Vec<u32> = sim.node(NodeId(1)).order.iter().map(|&(_, n)| n).collect();
+        assert_eq!(seqs.len(), 5);
+        assert_ne!(seqs, vec![0, 1, 2, 3, 4], "expected reordering with this seed");
+    }
+
+    #[test]
+    fn channels_are_fifo_per_pair() {
+        let mut sim = SimBuilder::new()
+            .seed(3)
+            .latency(LatencyModel::Uniform { lo: 1, hi: 50 })
+            .build::<Msg, Flood>();
+        let everyone: Vec<NodeId> = (0..4).map(NodeId).collect();
+        for _ in 0..4 {
+            sim.add_node(Flood {
+                everyone: everyone.clone(),
+                order: vec![],
+            });
+        }
+        sim.run_to_quiescence(10_000);
+        for i in 1..4 {
+            let seqs: Vec<u32> = sim.node(NodeId(i)).order.iter().map(|&(_, n)| n).collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3, 4], "FIFO violated at node {i}");
+        }
+    }
+
+    struct TimerProc {
+        fired: Vec<u64>,
+        cancel_me: Option<TimerId>,
+    }
+    impl Process<Msg> for TimerProc {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(10, 1);
+            let id = ctx.set_timer(20, 2);
+            ctx.set_timer(30, 3);
+            self.cancel_me = Some(id);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, tag: u64) {
+            self.fired.push(tag);
+            if tag == 1 {
+                if let Some(id) = self.cancel_me {
+                    ctx.cancel_timer(id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim = SimBuilder::new().seed(0).build::<Msg, TimerProc>();
+        sim.add_node(TimerProc {
+            fired: vec![],
+            cancel_me: None,
+        });
+        let out = sim.run_to_quiescence(100);
+        assert!(out.quiescent);
+        assert_eq!(sim.node(NodeId(0)).fired, vec![1, 3]);
+        assert_eq!(sim.metrics().get(builtin::TIMERS_FIRED), 2);
+    }
+
+    struct Halter;
+    impl Process<Msg> for Halter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(5, 0);
+            ctx.set_timer(50, 1);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId, tag: u64) {
+            if tag == 0 {
+                ctx.halt();
+            } else {
+                panic!("event after halt");
+            }
+        }
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        let mut sim = SimBuilder::new().build::<Msg, Halter>();
+        sim.add_node(Halter);
+        let out = sim.run_to_quiescence(100);
+        assert!(out.halted);
+        assert!(!out.quiescent);
+        assert!(sim.is_halted());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = pair(5);
+        let out = sim.run_until(SimTime::from_ticks(3));
+        assert!(!out.quiescent);
+        assert_eq!(sim.now(), SimTime::from_ticks(3));
+        let out2 = sim.run_until(SimTime::MAX);
+        assert!(out2.quiescent);
+    }
+
+    #[test]
+    fn with_node_allows_driver_injection() {
+        let mut sim = pair(9);
+        sim.run_to_quiescence(1_000);
+        sim.with_node(NodeId(0), |_p, ctx| {
+            ctx.send(NodeId(1), Msg::Ping(100));
+        });
+        sim.run_to_quiescence(1_000);
+        assert!(sim.node(NodeId(1)).received.contains(&100));
+    }
+
+    #[test]
+    fn max_events_backstop() {
+        // A protocol that never terminates is cut off.
+        struct Loopy;
+        impl Process<Msg> for Loopy {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(ctx.id(), Msg::Ping(0));
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+                ctx.send(ctx.id(), Msg::Ping(0));
+            }
+        }
+        let mut sim = SimBuilder::new().build::<Msg, Loopy>();
+        sim.add_node(Loopy);
+        let out = sim.run_to_quiescence(50);
+        assert_eq!(out.events, 50);
+        assert!(!out.quiescent && !out.halted);
+    }
+}

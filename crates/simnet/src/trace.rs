@@ -1,0 +1,228 @@
+//! Event tracing for debugging and for the correctness checkers.
+//!
+//! When enabled, the simulator records every send, delivery and timer event
+//! together with its virtual timestamp. The `cmh-core` soundness checker
+//! consumes traces to verify property QRP2 ("no false deadlock"), and the
+//! `probe_trace` example pretty-prints them.
+
+use std::fmt;
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Send {
+        /// Time of sending.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Scheduled delivery time.
+        deliver_at: SimTime,
+        /// Human-readable message summary.
+        summary: String,
+    },
+    /// A message reached its recipient.
+    Deliver {
+        /// Time of delivery.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Human-readable message summary.
+        summary: String,
+    },
+    /// A timer fired at its owner.
+    Timer {
+        /// Firing time.
+        at: SimTime,
+        /// Timer owner.
+        node: NodeId,
+        /// Application tag attached at `set_timer` time.
+        tag: u64,
+    },
+    /// A free-form annotation emitted by a process (e.g. "DECLARE deadlock").
+    Note {
+        /// Time of the annotation.
+        at: SimTime,
+        /// Emitting node.
+        node: NodeId,
+        /// Annotation text.
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time at which this event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Timer { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Send {
+                at,
+                from,
+                to,
+                deliver_at,
+                summary,
+            } => write!(f, "{at} SEND    {from} -> {to} (eta {deliver_at}): {summary}"),
+            TraceEvent::Deliver {
+                at,
+                from,
+                to,
+                summary,
+            } => write!(f, "{at} DELIVER {from} -> {to}: {summary}"),
+            TraceEvent::Timer { at, node, tag } => {
+                write!(f, "{at} TIMER   {node} tag={tag}")
+            }
+            TraceEvent::Note { at, node, text } => write!(f, "{at} NOTE    {node}: {text}"),
+        }
+    }
+}
+
+/// A chronologically ordered recording of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::sim::NodeId;
+/// use simnet::time::SimTime;
+/// use simnet::trace::{Trace, TraceEvent};
+///
+/// let mut trace = Trace::new(true);
+/// trace.push(TraceEvent::Note {
+///     at: SimTime::from_ticks(3),
+///     node: NodeId(0),
+///     text: "DECLARE deadlock".into(),
+/// });
+/// assert_eq!(trace.notes_containing("DECLARE").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace; recording happens only if `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in order of occurrence.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns the notes (annotations) matching a substring, in order.
+    pub fn notes_containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| {
+            matches!(e, TraceEvent::Note { text, .. } if text.contains(needle))
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.push(TraceEvent::Timer {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            tag: 1,
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new(true);
+        for i in 0..3 {
+            t.push(TraceEvent::Note {
+                at: SimTime::from_ticks(i),
+                node: NodeId(0),
+                text: format!("n{i}"),
+            });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[2].at(), SimTime::from_ticks(2));
+    }
+
+    #[test]
+    fn notes_filter_matches_substring() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Note {
+            at: SimTime::ZERO,
+            node: NodeId(1),
+            text: "DECLARE deadlock".into(),
+        });
+        t.push(TraceEvent::Timer {
+            at: SimTime::ZERO,
+            node: NodeId(1),
+            tag: 0,
+        });
+        assert_eq!(t.notes_containing("DECLARE").count(), 1);
+        assert_eq!(t.notes_containing("nope").count(), 0);
+    }
+
+    #[test]
+    fn display_formats_each_kind() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Send {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            deliver_at: SimTime::from_ticks(4),
+            summary: "req".into(),
+        });
+        t.push(TraceEvent::Deliver {
+            at: SimTime::from_ticks(4),
+            from: NodeId(0),
+            to: NodeId(1),
+            summary: "req".into(),
+        });
+        let s = t.to_string();
+        assert!(s.contains("SEND") && s.contains("DELIVER") && s.contains("eta t=4"));
+    }
+}

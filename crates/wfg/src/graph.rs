@@ -1,0 +1,546 @@
+//! The coloured wait-for graph of the basic model (§2 of the paper).
+//!
+//! Vertices are processes ([`NodeId`]); a directed edge `(u, v)` means `u`
+//! has sent `v` a request and has not yet received the reply. Edges carry
+//! one of three colours:
+//!
+//! * **grey** — the request is in flight (`v` has not received it yet);
+//! * **black** — `v` has received the request and not yet replied;
+//! * **white** — the reply is in flight back to `u`.
+//!
+//! The graph may change only according to the paper's axioms:
+//!
+//! * **G1 (creation)**: a grey edge `(u, v)` may be created if `(u, v)`
+//!   does not exist;
+//! * **G2 (blackening)**: a grey edge turns black after a finite time;
+//! * **G3 (whitening)**: a black edge `(u, v)` may turn white only if `v`
+//!   has **no outgoing edges** (only active processes reply);
+//! * **G4 (deletion)**: a white edge disappears after a finite time.
+//!
+//! [`WaitForGraph`] *enforces* these axioms: any mutation that would violate
+//! one returns an [`AxiomViolation`] and leaves the graph unchanged. The
+//! rest of the workspace builds on this guarantee — if a simulation drives
+//! its graph only through this API, every reachable graph state is a legal
+//! state of the paper's model.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simnet::sim::NodeId;
+
+/// Colour of a wait-for edge (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EdgeColour {
+    /// Request sent, not yet received.
+    Grey,
+    /// Request received, reply not yet sent.
+    Black,
+    /// Reply sent, not yet received.
+    White,
+}
+
+impl EdgeColour {
+    /// A *dark* edge is grey or black (§2.4); dark cycles persist forever.
+    pub fn is_dark(self) -> bool {
+        matches!(self, EdgeColour::Grey | EdgeColour::Black)
+    }
+}
+
+impl fmt::Display for EdgeColour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeColour::Grey => "grey",
+            EdgeColour::Black => "black",
+            EdgeColour::White => "white",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed edge with its colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Waiting process.
+    pub from: NodeId,
+    /// Process being waited for.
+    pub to: NodeId,
+    /// Current colour.
+    pub colour: EdgeColour,
+}
+
+/// Why a graph mutation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiomViolation {
+    /// G1: tried to create an edge that already exists.
+    EdgeExists {
+        /// Offending tail.
+        from: NodeId,
+        /// Offending head.
+        to: NodeId,
+    },
+    /// Tried to recolour or delete an edge that does not exist.
+    NoSuchEdge {
+        /// Offending tail.
+        from: NodeId,
+        /// Offending head.
+        to: NodeId,
+    },
+    /// Tried to transition an edge from the wrong colour (e.g. blacken a
+    /// white edge).
+    WrongColour {
+        /// Offending tail.
+        from: NodeId,
+        /// Offending head.
+        to: NodeId,
+        /// Colour the edge actually has.
+        found: EdgeColour,
+        /// Colour the transition requires.
+        expected: EdgeColour,
+    },
+    /// G3: tried to whiten `(u, v)` while `v` still has outgoing edges
+    /// (only active processes may reply).
+    ReplierBlocked {
+        /// Offending tail.
+        from: NodeId,
+        /// The blocked would-be replier.
+        to: NodeId,
+    },
+    /// Self-loops are rejected: a process does not request actions from
+    /// itself in the basic model.
+    SelfLoop {
+        /// The vertex in question.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomViolation::EdgeExists { from, to } => {
+                write!(f, "G1 violation: edge ({from}, {to}) already exists")
+            }
+            AxiomViolation::NoSuchEdge { from, to } => {
+                write!(f, "edge ({from}, {to}) does not exist")
+            }
+            AxiomViolation::WrongColour {
+                from,
+                to,
+                found,
+                expected,
+            } => write!(
+                f,
+                "edge ({from}, {to}) is {found}, transition requires {expected}"
+            ),
+            AxiomViolation::ReplierBlocked { from, to } => write!(
+                f,
+                "G3 violation: cannot whiten ({from}, {to}) while {to} has outgoing edges"
+            ),
+            AxiomViolation::SelfLoop { node } => {
+                write!(f, "self-loop at {node} rejected")
+            }
+        }
+    }
+}
+
+impl Error for AxiomViolation {}
+
+/// A wait-for graph that enforces axioms G1–G4.
+///
+/// Vertices exist implicitly (the paper assumes vertices for unborn and
+/// terminated processes); a vertex "appears" in iteration only while it has
+/// at least one incident edge.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::sim::NodeId;
+/// use wfg::graph::{EdgeColour, WaitForGraph};
+///
+/// # fn main() -> Result<(), wfg::graph::AxiomViolation> {
+/// let mut g = WaitForGraph::new();
+/// g.create_grey(NodeId(0), NodeId(1))?;
+/// g.blacken(NodeId(0), NodeId(1))?;
+/// assert_eq!(g.colour(NodeId(0), NodeId(1)), Some(EdgeColour::Black));
+///
+/// // G3: node 1 is active (no outgoing edges), so it may reply.
+/// g.whiten(NodeId(0), NodeId(1))?;
+/// g.delete_white(NodeId(0), NodeId(1))?;
+/// assert!(g.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitForGraph {
+    out: BTreeMap<NodeId, BTreeMap<NodeId, EdgeColour>>,
+    rin: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl WaitForGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        WaitForGraph::default()
+    }
+
+    /// Number of edges currently present (any colour).
+    pub fn edge_count(&self) -> usize {
+        self.out.values().map(|m| m.len()).sum()
+    }
+
+    /// `true` if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.out.values().all(|m| m.is_empty())
+    }
+
+    /// The colour of edge `(from, to)`, or `None` if absent.
+    pub fn colour(&self, from: NodeId, to: NodeId) -> Option<EdgeColour> {
+        self.out.get(&from).and_then(|m| m.get(&to)).copied()
+    }
+
+    /// `true` if edge `(from, to)` exists in any colour.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.colour(from, to).is_some()
+    }
+
+    /// G1: create grey edge `(from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AxiomViolation::EdgeExists`] if the edge is already present, and
+    /// [`AxiomViolation::SelfLoop`] if `from == to`.
+    pub fn create_grey(&mut self, from: NodeId, to: NodeId) -> Result<(), AxiomViolation> {
+        if from == to {
+            return Err(AxiomViolation::SelfLoop { node: from });
+        }
+        let slot = self.out.entry(from).or_default();
+        if slot.contains_key(&to) {
+            return Err(AxiomViolation::EdgeExists { from, to });
+        }
+        slot.insert(to, EdgeColour::Grey);
+        self.rin.entry(to).or_default().insert(from);
+        Ok(())
+    }
+
+    /// G2: turn grey edge `(from, to)` black (the request arrived).
+    ///
+    /// # Errors
+    ///
+    /// [`AxiomViolation::NoSuchEdge`] or [`AxiomViolation::WrongColour`].
+    pub fn blacken(&mut self, from: NodeId, to: NodeId) -> Result<(), AxiomViolation> {
+        self.transition(from, to, EdgeColour::Grey, EdgeColour::Black)
+    }
+
+    /// G3: turn black edge `(from, to)` white (the reply was sent).
+    ///
+    /// # Errors
+    ///
+    /// In addition to the existence/colour errors,
+    /// [`AxiomViolation::ReplierBlocked`] if `to` has outgoing edges —
+    /// only active processes may reply.
+    pub fn whiten(&mut self, from: NodeId, to: NodeId) -> Result<(), AxiomViolation> {
+        if self.out_degree(to) > 0 {
+            // Check colour first so missing-edge errors stay precise.
+            if let Some(EdgeColour::Black) = self.colour(from, to) {
+                return Err(AxiomViolation::ReplierBlocked { from, to })
+            }
+        }
+        self.transition(from, to, EdgeColour::Black, EdgeColour::White)
+    }
+
+    /// G4: delete white edge `(from, to)` (the reply arrived).
+    ///
+    /// # Errors
+    ///
+    /// [`AxiomViolation::NoSuchEdge`] or [`AxiomViolation::WrongColour`].
+    pub fn delete_white(&mut self, from: NodeId, to: NodeId) -> Result<(), AxiomViolation> {
+        match self.colour(from, to) {
+            None => Err(AxiomViolation::NoSuchEdge { from, to }),
+            Some(EdgeColour::White) => {
+                self.out.get_mut(&from).expect("edge exists").remove(&to);
+                self.rin.get_mut(&to).expect("edge exists").remove(&from);
+                Ok(())
+            }
+            Some(found) => Err(AxiomViolation::WrongColour {
+                from,
+                to,
+                found,
+                expected: EdgeColour::White,
+            }),
+        }
+    }
+
+    fn transition(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        expected: EdgeColour,
+        new: EdgeColour,
+    ) -> Result<(), AxiomViolation> {
+        match self.out.get_mut(&from).and_then(|m| m.get_mut(&to)) {
+            None => Err(AxiomViolation::NoSuchEdge { from, to }),
+            Some(c) if *c == expected => {
+                *c = new;
+                Ok(())
+            }
+            Some(c) => Err(AxiomViolation::WrongColour {
+                from,
+                to,
+                found: *c,
+                expected,
+            }),
+        }
+    }
+
+    /// Outgoing edges of `v`, in head order.
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
+        self.out
+            .get(&v)
+            .into_iter()
+            .flat_map(move |m| m.iter().map(move |(&to, &colour)| Edge { from: v, to, colour }))
+    }
+
+    /// Incoming edges of `v`, in tail order.
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
+        self.rin.get(&v).into_iter().flat_map(move |s| {
+            s.iter().map(move |&from| Edge {
+                from,
+                to: v,
+                colour: self.colour(from, v).expect("reverse index consistent"),
+            })
+        })
+    }
+
+    /// Number of outgoing edges of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out.get(&v).map_or(0, |m| m.len())
+    }
+
+    /// `true` if `v` has no outgoing edges ("active", able to reply).
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.out_degree(v) == 0
+    }
+
+    /// `true` if `v` has at least one incoming **black** edge (the locally
+    /// observable fact of process axiom P3).
+    pub fn has_incoming_black(&self, v: NodeId) -> bool {
+        self.in_edges(v).any(|e| e.colour == EdgeColour::Black)
+    }
+
+    /// All edges, ordered by `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().flat_map(|(&from, m)| {
+            m.iter().map(move |(&to, &colour)| Edge { from, to, colour })
+        })
+    }
+
+    /// All vertices with at least one incident edge, in id order.
+    pub fn vertices(&self) -> BTreeSet<NodeId> {
+        let mut vs = BTreeSet::new();
+        for e in self.edges() {
+            vs.insert(e.from);
+            vs.insert(e.to);
+        }
+        vs
+    }
+
+    /// Renders the graph in Graphviz DOT format, edges coloured by state
+    /// (grey/black edges solid, white edges dashed). Handy for debugging:
+    /// `dot -Tsvg` the output of any journal replay.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph wait_for {\n  rankdir=LR;\n  node [shape=circle];\n");
+        for v in self.vertices() {
+            let _ = writeln!(out, "  p{};", v.0);
+        }
+        for e in self.edges() {
+            let (colour, style) = match e.colour {
+                EdgeColour::Grey => ("gray60", "solid"),
+                EdgeColour::Black => ("black", "solid"),
+                EdgeColour::White => ("gray80", "dashed"),
+            };
+            let _ = writeln!(
+                out,
+                "  p{} -> p{} [color={colour}, style={style}];",
+                e.from.0, e.to.0
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for WaitForGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(empty wait-for graph)");
+        }
+        for e in self.edges() {
+            writeln!(f, "{} -> {} [{}]", e.from, e.to, e.colour)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn full_edge_lifecycle() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        assert_eq!(g.colour(n(0), n(1)), Some(EdgeColour::Grey));
+        g.blacken(n(0), n(1)).unwrap();
+        assert_eq!(g.colour(n(0), n(1)), Some(EdgeColour::Black));
+        g.whiten(n(0), n(1)).unwrap();
+        assert_eq!(g.colour(n(0), n(1)), Some(EdgeColour::White));
+        g.delete_white(n(0), n(1)).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn g1_rejects_duplicate_creation() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        assert_eq!(
+            g.create_grey(n(0), n(1)),
+            Err(AxiomViolation::EdgeExists { from: n(0), to: n(1) })
+        );
+        // But the reverse edge is a different edge.
+        g.create_grey(n(1), n(0)).unwrap();
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = WaitForGraph::new();
+        assert_eq!(
+            g.create_grey(n(3), n(3)),
+            Err(AxiomViolation::SelfLoop { node: n(3) })
+        );
+    }
+
+    #[test]
+    fn g2_requires_grey() {
+        let mut g = WaitForGraph::new();
+        assert!(matches!(
+            g.blacken(n(0), n(1)),
+            Err(AxiomViolation::NoSuchEdge { .. })
+        ));
+        g.create_grey(n(0), n(1)).unwrap();
+        g.blacken(n(0), n(1)).unwrap();
+        assert!(matches!(
+            g.blacken(n(0), n(1)),
+            Err(AxiomViolation::WrongColour { found: EdgeColour::Black, .. })
+        ));
+    }
+
+    #[test]
+    fn g3_blocked_replier_cannot_whiten() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        g.blacken(n(0), n(1)).unwrap();
+        // 1 itself waits for 2: blocked, must not reply.
+        g.create_grey(n(1), n(2)).unwrap();
+        assert_eq!(
+            g.whiten(n(0), n(1)),
+            Err(AxiomViolation::ReplierBlocked { from: n(0), to: n(1) })
+        );
+        // Resolve 1's wait, then whitening works.
+        g.blacken(n(1), n(2)).unwrap();
+        g.whiten(n(1), n(2)).unwrap();
+        g.delete_white(n(1), n(2)).unwrap();
+        g.whiten(n(0), n(1)).unwrap();
+    }
+
+    #[test]
+    fn g3_grey_edge_cannot_whiten_directly() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        assert!(matches!(
+            g.whiten(n(0), n(1)),
+            Err(AxiomViolation::WrongColour { found: EdgeColour::Grey, .. })
+        ));
+    }
+
+    #[test]
+    fn g4_requires_white() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        assert!(matches!(
+            g.delete_white(n(0), n(1)),
+            Err(AxiomViolation::WrongColour { found: EdgeColour::Grey, .. })
+        ));
+        assert!(matches!(
+            g.delete_white(n(5), n(6)),
+            Err(AxiomViolation::NoSuchEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_and_activity_queries() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        g.create_grey(n(0), n(2)).unwrap();
+        g.blacken(n(0), n(1)).unwrap();
+        assert_eq!(g.out_degree(n(0)), 2);
+        assert!(!g.is_active(n(0)));
+        assert!(g.is_active(n(1)));
+        assert!(g.has_incoming_black(n(1)));
+        assert!(!g.has_incoming_black(n(2))); // still grey
+        assert_eq!(g.vertices(), [n(0), n(1), n(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn in_edges_match_out_edges() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(2)).unwrap();
+        g.create_grey(n(1), n(2)).unwrap();
+        g.blacken(n(1), n(2)).unwrap();
+        let ins: Vec<Edge> = g.in_edges(n(2)).collect();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(ins[0].from, n(0));
+        assert_eq!(ins[0].colour, EdgeColour::Grey);
+        assert_eq!(ins[1].from, n(1));
+        assert_eq!(ins[1].colour, EdgeColour::Black);
+    }
+
+    #[test]
+    fn failed_mutations_leave_graph_unchanged() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        g.blacken(n(0), n(1)).unwrap();
+        g.create_grey(n(1), n(2)).unwrap();
+        let before = g.clone();
+        let _ = g.whiten(n(0), n(1)); // G3 violation
+        let _ = g.create_grey(n(0), n(1)); // G1 violation
+        let _ = g.delete_white(n(0), n(1)); // wrong colour
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut g = WaitForGraph::new();
+        assert_eq!(g.to_string(), "(empty wait-for graph)");
+        g.create_grey(n(0), n(1)).unwrap();
+        assert!(g.to_string().contains("p0 -> p1 [grey]"));
+    }
+
+    #[test]
+    fn dot_export_colours_edges() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        g.create_grey(n(1), n(2)).unwrap();
+        g.blacken(n(1), n(2)).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph wait_for {"));
+        assert!(dot.contains("p0 -> p1 [color=gray60, style=solid];"));
+        assert!(dot.contains("p1 -> p2 [color=black, style=solid];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

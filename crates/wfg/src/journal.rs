@@ -1,0 +1,194 @@
+//! Timestamped journals of wait-for-graph mutations.
+//!
+//! The soundness checker in `cmh-core` needs to know the *exact* graph
+//! state at the instant a process declared deadlock. Simulations therefore
+//! record every mutation in a [`Journal`]; [`Journal::replay_until`]
+//! reconstructs the graph as of any virtual time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simnet::sim::NodeId;
+use simnet::time::SimTime;
+
+use crate::graph::{AxiomViolation, WaitForGraph};
+
+/// One graph mutation (always axiom-conforming once journaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphOp {
+    /// G1: a grey edge appeared (a request was sent).
+    CreateGrey(NodeId, NodeId),
+    /// G2: a grey edge turned black (the request arrived).
+    Blacken(NodeId, NodeId),
+    /// G3: a black edge turned white (the reply was sent).
+    Whiten(NodeId, NodeId),
+    /// G4: a white edge disappeared (the reply arrived).
+    DeleteWhite(NodeId, NodeId),
+}
+
+impl GraphOp {
+    /// Applies this operation to `g`, enforcing the axioms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`AxiomViolation`] if the operation is illegal in the
+    /// current state.
+    pub fn apply(self, g: &mut WaitForGraph) -> Result<(), AxiomViolation> {
+        match self {
+            GraphOp::CreateGrey(a, b) => g.create_grey(a, b),
+            GraphOp::Blacken(a, b) => g.blacken(a, b),
+            GraphOp::Whiten(a, b) => g.whiten(a, b),
+            GraphOp::DeleteWhite(a, b) => g.delete_white(a, b),
+        }
+    }
+}
+
+impl fmt::Display for GraphOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphOp::CreateGrey(a, b) => write!(f, "create-grey {a} -> {b}"),
+            GraphOp::Blacken(a, b) => write!(f, "blacken     {a} -> {b}"),
+            GraphOp::Whiten(a, b) => write!(f, "whiten      {a} -> {b}"),
+            GraphOp::DeleteWhite(a, b) => write!(f, "delete      {a} -> {b}"),
+        }
+    }
+}
+
+/// A chronological record of graph mutations.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::sim::NodeId;
+/// use simnet::time::SimTime;
+/// use wfg::journal::{GraphOp, Journal};
+///
+/// # fn main() -> Result<(), wfg::AxiomViolation> {
+/// let mut journal = Journal::new();
+/// journal.record(SimTime::from_ticks(1), GraphOp::CreateGrey(NodeId(0), NodeId(1)));
+/// journal.record(SimTime::from_ticks(4), GraphOp::Blacken(NodeId(0), NodeId(1)));
+///
+/// // The graph as of t=2 still has the edge grey.
+/// let g = journal.replay_until(SimTime::from_ticks(2))?;
+/// assert_eq!(g.colour(NodeId(0), NodeId(1)), Some(wfg::EdgeColour::Grey));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Journal {
+    entries: Vec<(SimTime, GraphOp)>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends an operation observed at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `at` is earlier than the last entry —
+    /// journals must be chronological.
+    pub fn record(&mut self, at: SimTime, op: GraphOp) {
+        debug_assert!(
+            self.entries.last().is_none_or(|&(t, _)| t <= at),
+            "journal must be appended in chronological order"
+        );
+        self.entries.push((at, op));
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[(SimTime, GraphOp)] {
+        &self.entries
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reconstructs the graph state immediately **after** all operations
+    /// with timestamp `≤ at` have been applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AxiomViolation`] if the journal is not a legal
+    /// history (which would indicate a bug in the recording simulation).
+    pub fn replay_until(&self, at: SimTime) -> Result<WaitForGraph, AxiomViolation> {
+        let mut g = WaitForGraph::new();
+        for &(t, op) in &self.entries {
+            if t > at {
+                break;
+            }
+            op.apply(&mut g)?;
+        }
+        Ok(g)
+    }
+
+    /// Replays the full journal.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Journal::replay_until`].
+    pub fn replay_all(&self) -> Result<WaitForGraph, AxiomViolation> {
+        self.replay_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn replay_reconstructs_intermediate_states() {
+        let mut j = Journal::new();
+        j.record(t(1), GraphOp::CreateGrey(n(0), n(1)));
+        j.record(t(3), GraphOp::Blacken(n(0), n(1)));
+        j.record(t(5), GraphOp::Whiten(n(0), n(1)));
+        j.record(t(7), GraphOp::DeleteWhite(n(0), n(1)));
+
+        use crate::graph::EdgeColour::{Black, Grey, White};
+        assert!(j.replay_until(t(0)).unwrap().is_empty());
+        assert_eq!(j.replay_until(t(1)).unwrap().colour(n(0), n(1)), Some(Grey));
+        assert_eq!(j.replay_until(t(4)).unwrap().colour(n(0), n(1)), Some(Black));
+        assert_eq!(j.replay_until(t(5)).unwrap().colour(n(0), n(1)), Some(White));
+        assert!(j.replay_all().unwrap().is_empty());
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn illegal_history_is_reported() {
+        let mut j = Journal::new();
+        j.record(t(1), GraphOp::Blacken(n(0), n(1))); // never created
+        assert!(j.replay_all().is_err());
+    }
+
+    #[test]
+    fn ops_display() {
+        assert_eq!(
+            GraphOp::CreateGrey(n(1), n(2)).to_string(),
+            "create-grey p1 -> p2"
+        );
+    }
+
+    #[test]
+    fn empty_journal() {
+        let j = Journal::new();
+        assert!(j.is_empty());
+        assert!(j.replay_all().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,483 @@
+//! Ground-truth queries over wait-for graphs.
+//!
+//! The probe computation is a *distributed* algorithm; the oracle answers
+//! the same questions *centrally*, with full knowledge of the graph. It is
+//! the reference against which the distributed algorithm is validated:
+//!
+//! * **QRP2 (soundness)**: whenever a process declares deadlock, the oracle
+//!   must confirm it is on a dark cycle at that instant;
+//! * **QRP1 (completeness)**: whenever a permanent dark cycle exists and a
+//!   member initiates, a declaration must eventually follow;
+//! * **§5 WFGD**: the sets `S_j` computed by the distributed propagation
+//!   must equal [`wfgd_ground_truth`].
+//!
+//! All functions are pure queries; none mutate the graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simnet::sim::NodeId;
+
+use crate::graph::{EdgeColour, WaitForGraph};
+
+/// Strongly connected components of the *dark* (grey ∪ black) subgraph,
+/// computed with an iterative Tarjan algorithm.
+///
+/// Components are returned in reverse topological order (Tarjan's natural
+/// output order); singleton components are included.
+pub fn dark_sccs(g: &WaitForGraph) -> Vec<Vec<NodeId>> {
+    // Adjacency restricted to dark edges.
+    let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+    let mut verts: BTreeSet<NodeId> = BTreeSet::new();
+    for e in g.edges() {
+        verts.insert(e.from);
+        verts.insert(e.to);
+        if e.colour.is_dark() {
+            adj.entry(e.from).or_default().push(e.to);
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct VData {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut data: BTreeMap<NodeId, VData> = BTreeMap::new();
+    let mut next_index = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut sccs: Vec<Vec<NodeId>> = Vec::new();
+    let empty: Vec<NodeId> = Vec::new();
+
+    for &root in &verts {
+        if data.contains_key(&root) {
+            continue;
+        }
+        // Iterative Tarjan: (vertex, next child offset).
+        let mut call: Vec<(NodeId, usize)> = vec![(root, 0)];
+        data.insert(
+            root,
+            VData {
+                index: next_index,
+                lowlink: next_index,
+                on_stack: true,
+            },
+        );
+        next_index += 1;
+        stack.push(root);
+
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            let succs = adj.get(&v).unwrap_or(&empty);
+            if *child < succs.len() {
+                let w = succs[*child];
+                *child += 1;
+                match data.get(&w) {
+                    None => {
+                        data.insert(
+                            w,
+                            VData {
+                                index: next_index,
+                                lowlink: next_index,
+                                on_stack: true,
+                            },
+                        );
+                        next_index += 1;
+                        stack.push(w);
+                        call.push((w, 0));
+                    }
+                    Some(wd) if wd.on_stack => {
+                        let w_index = wd.index;
+                        let vd = data.get_mut(&v).expect("visited");
+                        vd.lowlink = vd.lowlink.min(w_index);
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                call.pop();
+                let vd = *data.get(&v).expect("visited");
+                if let Some(&(parent, _)) = call.last() {
+                    let pl = data.get_mut(&parent).expect("visited");
+                    pl.lowlink = pl.lowlink.min(vd.lowlink);
+                }
+                if vd.lowlink == vd.index {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack nonempty at root");
+                        data.get_mut(&w).expect("visited").on_stack = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Vertices lying on at least one **dark cycle** (§2.4).
+///
+/// A dark cycle persists forever (its edges can never be whitened or
+/// deleted), so these vertices are exactly the ones the paper calls
+/// deadlocked in the narrow sense. Self-loops cannot exist
+/// ([`WaitForGraph`] rejects them), so a vertex is on a dark cycle iff its
+/// dark SCC has at least two members.
+pub fn dark_cycle_members(g: &WaitForGraph) -> BTreeSet<NodeId> {
+    dark_sccs(g)
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .flatten()
+        .collect()
+}
+
+/// `true` if `v` lies on a dark cycle.
+pub fn is_on_dark_cycle(g: &WaitForGraph, v: NodeId) -> bool {
+    dark_cycle_members(g).contains(&v)
+}
+
+/// The distinct **knots** of the graph: each non-trivial strongly
+/// connected component of the dark subgraph, as a sorted vertex set.
+/// One declaration per knot is what completeness requires (§4.2).
+pub fn knots(g: &WaitForGraph) -> Vec<BTreeSet<NodeId>> {
+    dark_sccs(g)
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .map(|c| c.into_iter().collect())
+        .collect()
+}
+
+/// `true` if `v` lies on a cycle **all of whose edges are black**.
+///
+/// Property QRP2 promises this stronger condition at the moment a
+/// meaningful probe reaches the initiator.
+pub fn is_on_black_cycle(g: &WaitForGraph, v: NodeId) -> bool {
+    // Reachability from v back to v over black edges only.
+    let reach = reachable(g, v, |c| c == EdgeColour::Black);
+    g.in_edges(v)
+        .any(|e| e.colour == EdgeColour::Black && reach.contains(&e.from))
+}
+
+/// Vertices that are **permanently blocked**: vertices from which a dark
+/// cycle is reachable along dark edges (members included).
+///
+/// Such a vertex has an outgoing wait that can never be resolved, because
+/// the chain of waits it heads ends in a dark cycle; by G3 none of the
+/// edges on the chain can ever be whitened.
+pub fn permanently_blocked(g: &WaitForGraph) -> BTreeSet<NodeId> {
+    let cycle = dark_cycle_members(g);
+    if cycle.is_empty() {
+        return BTreeSet::new();
+    }
+    // Walk dark edges backwards from the cycle members.
+    let mut blocked = cycle.clone();
+    let mut frontier: Vec<NodeId> = cycle.into_iter().collect();
+    while let Some(v) = frontier.pop() {
+        for e in g.in_edges(v) {
+            if e.colour.is_dark() && blocked.insert(e.from) {
+                frontier.push(e.from);
+            }
+        }
+    }
+    blocked
+}
+
+/// Black edges `(a, b)` that are **permanently black**: `b` is permanently
+/// blocked, so `b` will never become active and by G3 will never whiten the
+/// edge. These edges form the "deadlocked portion of the wait-for graph"
+/// that §5's WFGD computation disseminates.
+pub fn permanent_black_edges(g: &WaitForGraph) -> BTreeSet<(NodeId, NodeId)> {
+    let blocked = permanently_blocked(g);
+    g.edges()
+        .filter(|e| e.colour == EdgeColour::Black && blocked.contains(&e.to))
+        .map(|e| (e.from, e.to))
+        .collect()
+}
+
+/// Vertices reachable from `start` (inclusive) along edges whose colour
+/// satisfies `keep`.
+pub fn reachable(
+    g: &WaitForGraph,
+    start: NodeId,
+    keep: impl Fn(EdgeColour) -> bool,
+) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    seen.insert(start);
+    let mut frontier = vec![start];
+    while let Some(v) = frontier.pop() {
+        for e in g.out_edges(v) {
+            if keep(e.colour) && seen.insert(e.to) {
+                frontier.push(e.to);
+            }
+        }
+    }
+    seen
+}
+
+/// Ground truth for the §5 WFGD computation: the set `S_j` that vertex
+/// `subject` should converge to after initiator `initiator` (a vertex on a
+/// black cycle) starts the propagation.
+///
+/// `S_j` contains exactly the black edges lying on a black path from
+/// `subject` to `initiator`: edges `(a, b)` such that `a` is black-reachable
+/// from `subject` and `initiator` is black-reachable from `b`.
+pub fn wfgd_ground_truth(
+    g: &WaitForGraph,
+    subject: NodeId,
+    initiator: NodeId,
+) -> BTreeSet<(NodeId, NodeId)> {
+    let fwd = reachable(g, subject, |c| c == EdgeColour::Black);
+    // Backward reachability to the initiator over black edges.
+    let mut to_init = BTreeSet::new();
+    to_init.insert(initiator);
+    let mut frontier = vec![initiator];
+    while let Some(v) = frontier.pop() {
+        for e in g.in_edges(v) {
+            if e.colour == EdgeColour::Black && to_init.insert(e.from) {
+                frontier.push(e.from);
+            }
+        }
+    }
+    g.edges()
+        .filter(|e| {
+            e.colour == EdgeColour::Black && fwd.contains(&e.from) && to_init.contains(&e.to)
+        })
+        .map(|e| (e.from, e.to))
+        .collect()
+}
+
+/// Brute-force check that `v` is on a dark cycle, by DFS path enumeration.
+///
+/// Exponential in the worst case; used only by tests to validate
+/// [`is_on_dark_cycle`] on small graphs.
+pub fn is_on_dark_cycle_bruteforce(g: &WaitForGraph, v: NodeId) -> bool {
+    fn dfs(g: &WaitForGraph, target: NodeId, at: NodeId, visited: &mut BTreeSet<NodeId>) -> bool {
+        for e in g.out_edges(at) {
+            if !e.colour.is_dark() {
+                continue;
+            }
+            if e.to == target {
+                return true;
+            }
+            if visited.insert(e.to) && dfs(g, target, e.to, visited) {
+                return true;
+            }
+        }
+        false
+    }
+    let mut visited = BTreeSet::new();
+    visited.insert(v);
+    dfs(g, v, v, &mut visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WaitForGraph;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Builds a graph from (from, to, colour) triples, going through the
+    /// axiom-checked API.
+    fn build(edges: &[(usize, usize, EdgeColour)]) -> WaitForGraph {
+        let mut g = WaitForGraph::new();
+        for &(a, b, _) in edges {
+            g.create_grey(n(a), n(b)).unwrap();
+        }
+        for &(a, b, c) in edges {
+            if c != EdgeColour::Grey {
+                g.blacken(n(a), n(b)).unwrap();
+            }
+        }
+        // Whitening has ordering constraints (G3); do whites last, repeatedly.
+        let mut pending: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|&&(_, _, c)| c == EdgeColour::White)
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        let mut progress = true;
+        while progress && !pending.is_empty() {
+            progress = false;
+            pending.retain(|&(a, b)| {
+                if g.whiten(n(a), n(b)).is_ok() {
+                    progress = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        assert!(pending.is_empty(), "white edges unsatisfiable under G3");
+        g
+    }
+
+    use EdgeColour::{Black, Grey};
+
+    #[test]
+    fn triangle_black_cycle_detected() {
+        let g = build(&[(0, 1, Black), (1, 2, Black), (2, 0, Black)]);
+        let members = dark_cycle_members(&g);
+        assert_eq!(members, [n(0), n(1), n(2)].into_iter().collect());
+        assert!(is_on_black_cycle(&g, n(0)));
+    }
+
+    #[test]
+    fn mixed_grey_black_cycle_is_dark() {
+        let g = build(&[(0, 1, Grey), (1, 2, Black), (2, 0, Grey)]);
+        assert!(is_on_dark_cycle(&g, n(1)));
+        // Dark but not black: grey edges break the black cycle.
+        assert!(!is_on_black_cycle(&g, n(1)));
+    }
+
+    #[test]
+    fn chain_has_no_cycle() {
+        let g = build(&[(0, 1, Black), (1, 2, Black), (2, 3, Grey)]);
+        assert!(dark_cycle_members(&g).is_empty());
+        assert!(permanently_blocked(&g).is_empty());
+        assert!(permanent_black_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn tail_into_cycle_is_permanently_blocked() {
+        // 4 -> 0 -> 1 -> 2 -> 0, and 3 -> 4; all black.
+        let g = build(&[
+            (0, 1, Black),
+            (1, 2, Black),
+            (2, 0, Black),
+            (4, 0, Black),
+            (3, 4, Black),
+        ]);
+        let blocked = permanently_blocked(&g);
+        assert_eq!(blocked, (0..=4).map(n).collect());
+        // Every black edge here heads into a blocked vertex.
+        assert_eq!(permanent_black_edges(&g).len(), 5);
+        // 3 and 4 are blocked but not on the cycle.
+        let cyc = dark_cycle_members(&g);
+        assert!(!cyc.contains(&n(3)) && !cyc.contains(&n(4)));
+    }
+
+    #[test]
+    fn black_edge_to_unblocked_vertex_is_not_permanent() {
+        // 0 -> 1 black, 1 active: 1 may whiten it later.
+        let g = build(&[(0, 1, Black)]);
+        assert!(permanent_black_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let g = build(&[
+            (0, 1, Black),
+            (1, 0, Black),
+            (2, 3, Grey),
+            (3, 2, Black),
+        ]);
+        let sccs = dark_sccs(&g);
+        let big: Vec<_> = sccs.into_iter().filter(|c| c.len() >= 2).collect();
+        assert_eq!(big.len(), 2);
+        assert!(is_on_dark_cycle(&g, n(2)));
+    }
+
+    #[test]
+    fn wfgd_ground_truth_cycle_with_tail() {
+        // tail: 3 -> 4 -> 0 ; cycle: 0 -> 1 -> 2 -> 0, all black; initiator 0.
+        let g = build(&[
+            (0, 1, Black),
+            (1, 2, Black),
+            (2, 0, Black),
+            (4, 0, Black),
+            (3, 4, Black),
+        ]);
+        // From 3, black paths to 0 reach the tail edges and then may keep
+        // circling the cycle: all five edges are on some black path 3 ->* 0.
+        let s3 = wfgd_ground_truth(&g, n(3), n(0));
+        assert_eq!(
+            s3,
+            [
+                (n(3), n(4)),
+                (n(4), n(0)),
+                (n(0), n(1)),
+                (n(1), n(2)),
+                (n(2), n(0))
+            ]
+            .into_iter()
+            .collect()
+        );
+        // From 1 only the cycle edges are reachable (the tail hangs *into*
+        // the cycle, so paths from 1 never traverse (3,4) or (4,0)).
+        let cycle_edges: std::collections::BTreeSet<_> =
+            [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))].into_iter().collect();
+        assert_eq!(wfgd_ground_truth(&g, n(1), n(0)), cycle_edges);
+        // From 0 itself: the whole cycle.
+        assert_eq!(wfgd_ground_truth(&g, n(0), n(0)), cycle_edges);
+    }
+
+    #[test]
+    fn wfgd_excludes_branches_not_leading_to_initiator() {
+        // 0 -> 1 -> 0 cycle; 1 -> 2 black side branch (2 active).
+        // G3 forbids nothing here: edge (1,2) is black because 2 received it.
+        let g = build(&[(0, 1, Black), (1, 0, Black), (1, 2, Black)]);
+        let s0 = wfgd_ground_truth(&g, n(0), n(0));
+        assert!(!s0.contains(&(n(1), n(2))));
+        assert_eq!(s0, [(n(0), n(1)), (n(1), n(0))].into_iter().collect());
+    }
+
+    #[test]
+    fn bruteforce_agrees_on_examples() {
+        let g = build(&[
+            (0, 1, Black),
+            (1, 2, Grey),
+            (2, 0, Black),
+            (3, 0, Black),
+            (2, 4, Black),
+        ]);
+        for i in 0..5 {
+            assert_eq!(
+                is_on_dark_cycle(&g, n(i)),
+                is_on_dark_cycle_bruteforce(&g, n(i)),
+                "mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn reachable_respects_colour_filter() {
+        let g = build(&[(0, 1, Black), (1, 2, Grey), (2, 3, Black)]);
+        let black_only = reachable(&g, n(0), |c| c == EdgeColour::Black);
+        assert_eq!(black_only, [n(0), n(1)].into_iter().collect());
+        let dark = reachable(&g, n(0), EdgeColour::is_dark);
+        assert_eq!(dark, (0..=3).map(n).collect());
+    }
+
+    #[test]
+    fn knots_are_the_nontrivial_sccs() {
+        let g = build(&[
+            (0, 1, Black),
+            (1, 0, Black),
+            (2, 3, Black),
+            (3, 2, Grey),
+            (4, 0, Black), // tail, not in any knot
+        ]);
+        let ks = knots(&g);
+        assert_eq!(ks.len(), 2);
+        assert!(ks.contains(&[n(0), n(1)].into_iter().collect()));
+        assert!(ks.contains(&[n(2), n(3)].into_iter().collect()));
+        assert!(ks.iter().all(|k| !k.contains(&n(4))));
+    }
+
+    #[test]
+    fn sccs_cover_all_vertices_once() {
+        let g = build(&[
+            (0, 1, Black),
+            (1, 2, Black),
+            (2, 0, Black),
+            (2, 3, Black),
+            (3, 4, Grey),
+        ]);
+        let sccs = dark_sccs(&g);
+        let mut all: Vec<NodeId> = sccs.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..=4).map(n).collect::<Vec<_>>());
+    }
+}

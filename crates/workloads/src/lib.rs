@@ -1,0 +1,25 @@
+//! # workloads — seeded scenario generators for the evaluation
+//!
+//! Everything the experiments and examples run is generated here, from
+//! explicit seeds, so every number in `EXPERIMENTS.md` is reproducible:
+//!
+//! * [`basic`] — request/reply schedules for the basic model and the
+//!   baseline detectors (random churn, cycle injection, fixed topologies),
+//!   plus a driver that replays one schedule against any harness;
+//! * [`ddb`] — multi-site transaction workloads for the §6 model (random
+//!   transactions with contention knobs, dining philosophers, bank
+//!   transfers);
+//! * [`ormodel`] — block/send scenarios for the companion OR-model
+//!   detector (knots, random communication patterns).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod basic;
+pub mod ddb;
+pub mod ormodel;
+
+pub use basic::{acyclic_churn, drive_schedule, random_churn, topology_schedule, ChurnConfig, Schedule};
+pub use ddb::{bank_transfers, dining_philosophers, random_transactions, DdbWorkloadConfig, TimedTxn};
+pub use ormodel::{drive_or, or_ring, random_or_scenario, OrAction, OrScenarioConfig};

@@ -1,0 +1,70 @@
+//! A distributed bank: transfers locking two accounts each across several
+//! sites, with the probe computation detecting transfer deadlocks and
+//! abort/restart resolution keeping throughput alive.
+//!
+//! Compares the same workload under (a) no detection — opposing transfers
+//! can wedge forever — and (b) Q-optimised detection with resolution.
+//!
+//! ```text
+//! cargo run --example distributed_bank
+//! ```
+
+use chandy_misra_haas::cmh_ddb::controller::counters;
+use chandy_misra_haas::cmh_ddb::{DdbConfig, DdbInitiation, DdbNet, Resolution, TxnStatus};
+use chandy_misra_haas::simnet::time::SimTime;
+use chandy_misra_haas::workloads::bank_transfers;
+
+const SITES: usize = 3;
+const ACCOUNTS_PER_SITE: u64 = 2;
+const TRANSFERS: usize = 40;
+const MEAN_GAP: u64 = 6; // bursty arrivals: high account contention
+const SEED: u64 = 2024;
+
+fn run(cfg: DdbConfig, label: &str) {
+    let mut db = DdbNet::new(SITES, cfg, SEED);
+    for tt in bank_transfers(SITES, ACCOUNTS_PER_SITE, TRANSFERS, MEAN_GAP, SEED) {
+        db.run_until(SimTime::from_ticks(tt.at));
+        db.submit(tt.txn);
+    }
+    db.run_until(SimTime::from_ticks(200_000));
+
+    let outcomes = db.outcomes();
+    let committed = outcomes.iter().filter(|o| o.status == TxnStatus::Committed).count();
+    let stuck = outcomes.iter().filter(|o| o.status == TxnStatus::Running).count();
+    let commit_times: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| o.status == TxnStatus::Committed)
+        .filter_map(|o| o.finished_at.map(|t| t.ticks() - o.submitted_at.ticks()))
+        .collect();
+    let mean_time = if commit_times.is_empty() {
+        0.0
+    } else {
+        commit_times.iter().sum::<u64>() as f64 / commit_times.len() as f64
+    };
+    println!("--- {label} ---");
+    println!("  committed: {committed}/{TRANSFERS}   wedged: {stuck}");
+    println!("  mean commit time: {mean_time:.0} ticks");
+    println!(
+        "  deadlocks declared: {}   aborts: {}   probes: {}",
+        db.metrics().get(counters::DECLARED),
+        db.metrics().get(counters::ABORTED),
+        db.metrics().get(counters::PROBE_SENT),
+    );
+}
+
+fn main() {
+    println!(
+        "{TRANSFERS} transfers over {SITES} sites x {ACCOUNTS_PER_SITE} accounts (seed {SEED})\n"
+    );
+    run(
+        DdbConfig {
+            initiation: DdbInitiation::Never,
+            resolution: Resolution::None,
+            ..DdbConfig::default()
+        },
+        "no deadlock detection",
+    );
+    run(DdbConfig::detect_and_resolve(120, 90), "CMH detection + abort/restart");
+    println!("\nwithout detection, opposing transfers wedge and everything queued behind");
+    println!("them starves; with the probe computation every transfer commits.");
+}

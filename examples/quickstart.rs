@@ -1,0 +1,51 @@
+//! Quickstart: build a three-process deadlock in the basic model, watch
+//! the probe computation detect it, and machine-check the paper's two
+//! correctness properties on the run.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use chandy_misra_haas::cmh_core::{BasicConfig, BasicNet};
+use chandy_misra_haas::simnet::sim::NodeId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three processes; each one requests an action from the next and
+    // blocks until the reply — a circular wait.
+    let mut net = BasicNet::new(3, BasicConfig::on_block(5), 42);
+    for i in 0..3 {
+        net.request(NodeId(i), NodeId((i + 1) % 3))?;
+    }
+
+    // Run the discrete-event simulation until nothing is left to do.
+    let outcome = net.run_to_quiescence(100_000);
+    println!(
+        "simulation quiesced after {} events at {}",
+        outcome.events,
+        net.now()
+    );
+
+    // The vertex whose request closed the cycle initiated a probe
+    // computation (initiation rule of section 4.2); a probe travelled the
+    // cycle and came back meaningful, so step A1 declared deadlock.
+    for report in net.declarations() {
+        println!("  {report}");
+    }
+
+    // The wait-for graph, reconstructed from the journalled ground truth.
+    println!("\nfinal wait-for graph:\n{}", net.current_graph()?);
+
+    // QRP2: every declaration happened on a real black cycle.
+    let checked = net.verify_soundness()?;
+    // QRP1: every dark cycle has a declaring member.
+    let deadlocked = net.verify_completeness()?;
+    println!("verified: {checked} declaration(s) sound, {deadlocked} deadlocked vertices covered");
+
+    // Section 5: after declaring, the WFGD computation told every vertex
+    // which edges form its deadlocked portion of the graph.
+    for i in 0..3 {
+        let s = net.node(NodeId(i)).wfgd_edges();
+        println!("S_{i} = {s:?}");
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every table in EXPERIMENTS.md. Each binary prints one
+# markdown table plus a claim-check line; outputs land in target/experiments/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="target/experiments"
+mkdir -p "$out"
+bins=(
+  exp_probe_bounds
+  exp_timeout_tradeoff
+  exp_state_bounds
+  exp_soundness
+  exp_ddb_q
+  exp_baselines
+  exp_wfgd
+  exp_cycle_latency
+  exp_fifo_ablation
+  exp_or_model
+  exp_ablations
+)
+for b in "${bins[@]}"; do
+  echo "== $b =="
+  cargo run --quiet --release -p cmh-bench --bin "$b" | tee "$out/$b.txt"
+  echo
+done
+echo "all experiment outputs written to $out/"

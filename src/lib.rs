@@ -1,0 +1,20 @@
+//! # chandy-misra-haas — umbrella crate
+//!
+//! Re-exports the whole workspace so examples and downstream users can
+//! depend on a single crate. See the individual crates for detail:
+//!
+//! * [`simnet`] — deterministic discrete-event simulation substrate;
+//! * [`wfg`] — coloured wait-for graphs, axioms G1–G4, ground-truth oracle;
+//! * [`cmh_core`] — the probe computation (basic model, §3–§5);
+//! * [`cmh_ddb`] — the Menasce–Muntz distributed-database model (§6);
+//! * [`baselines`] — centralised, path-pushing and timeout comparators;
+//! * [`workloads`] — seeded workload generators.
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use cmh_core;
+pub use cmh_ddb;
+pub use simnet;
+pub use wfg;
+pub use workloads;

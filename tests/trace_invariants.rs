@@ -1,0 +1,119 @@
+//! Structural invariants of the simulator's traces — the communication
+//! guarantees the paper's process axioms rest on, checked as observable
+//! properties of whole runs rather than unit behaviours:
+//!
+//! * **reliability**: every sent message is delivered exactly once;
+//! * **FIFO**: per ordered channel, delivery order equals send order;
+//! * **finite delay** (P4): every delivery happens at or after its send.
+
+use std::collections::BTreeMap;
+
+use cmh_core::{BasicConfig, BasicNet};
+use simnet::sim::{NodeId, SimBuilder};
+use simnet::time::SimTime;
+use simnet::trace::TraceEvent;
+use workloads::{drive_schedule, random_churn, ChurnConfig};
+
+/// Runs a traced churn workload and returns its trace events.
+fn traced_run(seed: u64) -> Vec<TraceEvent> {
+    let sched = random_churn(&ChurnConfig {
+        n: 10,
+        duration: 3_000,
+        mean_gap: 25,
+        cycle_prob: 0.05,
+        cycle_len: 3,
+        seed,
+    });
+    let builder = SimBuilder::new().seed(seed).trace(true);
+    let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(15), builder);
+    drive_schedule(
+        &mut net,
+        &sched,
+        |x, at| {
+            x.run_until(at);
+        },
+        |x, f, t| x.request(f, t).is_ok(),
+    );
+    net.run_to_quiescence(20_000_000);
+    net.trace().events().to_vec()
+}
+
+#[test]
+fn every_send_is_delivered_exactly_once_in_fifo_order() {
+    for seed in [1u64, 2, 3] {
+        let events = traced_run(seed);
+        // Per channel, the sequences of summaries for sends and deliveries.
+        let mut sends: BTreeMap<(NodeId, NodeId), Vec<String>> = BTreeMap::new();
+        let mut delivers: BTreeMap<(NodeId, NodeId), Vec<String>> = BTreeMap::new();
+        for e in &events {
+            match e {
+                TraceEvent::Send { from, to, summary, .. } => {
+                    sends.entry((*from, *to)).or_default().push(summary.clone());
+                }
+                TraceEvent::Deliver { from, to, summary, .. } => {
+                    delivers.entry((*from, *to)).or_default().push(summary.clone());
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            sends.keys().collect::<Vec<_>>(),
+            delivers.keys().collect::<Vec<_>>(),
+            "seed {seed}: channel sets differ"
+        );
+        for (chan, sent) in &sends {
+            let got = &delivers[chan];
+            assert_eq!(sent, got, "seed {seed}: FIFO/reliability violated on {chan:?}");
+        }
+    }
+}
+
+#[test]
+fn deliveries_never_precede_their_send() {
+    for seed in [4u64, 5] {
+        let events = traced_run(seed);
+        // Track, per channel, the queue of pending send times.
+        let mut pending: BTreeMap<(NodeId, NodeId), Vec<SimTime>> = BTreeMap::new();
+        for e in &events {
+            match e {
+                TraceEvent::Send { at, from, to, deliver_at, .. } => {
+                    assert!(deliver_at > at, "seed {seed}: zero-latency delivery");
+                    pending.entry((*from, *to)).or_default().push(*at);
+                }
+                TraceEvent::Deliver { at, from, to, .. } => {
+                    let q = pending.get_mut(&(*from, *to)).expect("send before deliver");
+                    let sent_at = q.remove(0);
+                    assert!(*at > sent_at, "seed {seed}: delivered at/before send");
+                }
+                _ => {}
+            }
+        }
+        // Reliability again, by counts this time.
+        assert!(pending.values().all(Vec::is_empty), "seed {seed}: lost messages");
+    }
+}
+
+#[test]
+fn trace_timestamps_are_monotone() {
+    let events = traced_run(6);
+    assert!(!events.is_empty());
+    let mut last = SimTime::ZERO;
+    for e in &events {
+        assert!(e.at() >= last, "trace went backwards at {e}");
+        last = e.at();
+    }
+}
+
+#[test]
+fn declares_appear_as_notes() {
+    // A guaranteed deadlock must leave a DECLARE note in the trace.
+    let builder = SimBuilder::new().seed(9).trace(true);
+    let mut net = BasicNet::with_builder(3, BasicConfig::on_block(5), builder);
+    net.request_edges(&wfg::generators::cycle(3)).unwrap();
+    net.run_to_quiescence(1_000_000);
+    assert!(net.trace().notes_containing("DECLARE").count() >= 1);
+    assert_eq!(
+        net.trace().notes_containing("DECLARE").count(),
+        net.declarations().len()
+    );
+}
