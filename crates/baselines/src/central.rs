@@ -158,8 +158,7 @@ impl Coordinator {
                 });
             }
         }
-        self.currently_reported
-            .retain(|v| members.contains(v));
+        self.currently_reported.retain(|v| members.contains(v));
     }
 }
 
@@ -191,7 +190,13 @@ impl Process<CentralMsg> for CentralProcess {
                 let out_waits = w.core.out_waits().iter().copied().collect();
                 ctx.send(from, CentralMsg::SnapReply { round, out_waits });
             }
-            (CentralProcess::Coordinator(c), CentralMsg::SnapReply { round: _, out_waits }) => {
+            (
+                CentralProcess::Coordinator(c),
+                CentralMsg::SnapReply {
+                    round: _,
+                    out_waits,
+                },
+            ) => {
                 // Keep the freshest report per worker; FIFO channels mean a
                 // later-arriving reply is a later snapshot.
                 c.latest_reply.insert(from, out_waits);
@@ -217,10 +222,7 @@ impl Process<CentralMsg> for CentralProcess {
                 c.round += 1;
                 for i in 0..c.n_workers {
                     ctx.count(counters::SNAP_REQUEST);
-                    ctx.send(
-                        NodeId(i),
-                        CentralMsg::SnapRequest { round: c.round },
-                    );
+                    ctx.send(NodeId(i), CentralMsg::SnapRequest { round: c.round });
                 }
                 ctx.set_timer(c.period, TAG_POLL);
             }
@@ -295,7 +297,10 @@ impl CentralNet {
     ///
     /// Panics if `from` is the coordinator node.
     pub fn request(&mut self, from: NodeId, to: NodeId) -> Result<(), RequestError> {
-        assert!(from.0 < self.n_workers, "cannot request from the coordinator");
+        assert!(
+            from.0 < self.n_workers,
+            "cannot request from the coordinator"
+        );
         self.sim.with_node(from, |p, ctx| {
             let CentralProcess::Worker(w) = p else {
                 unreachable!("node {from} is a worker")

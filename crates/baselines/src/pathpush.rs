@@ -113,7 +113,10 @@ impl PathProcess {
 
     fn arm_push_timer(&self, ctx: &mut Context<'_, PathMsg>) {
         // Encode the wait-state epoch so stale timers are recognised.
-        ctx.set_timer(self.push_delay, TAG_PUSH_BASE | (self.core.epoch() & 0xFFFF_FFFF));
+        ctx.set_timer(
+            self.push_delay,
+            TAG_PUSH_BASE | (self.core.epoch() & 0xFFFF_FFFF),
+        );
     }
 }
 

@@ -95,11 +95,25 @@ mod tests {
         j.record(t(3), GraphOp::CreateGrey(n(1), n(0)));
         j.record(t(4), GraphOp::Blacken(n(1), n(0)));
         let reports = [
-            BaselineReport { detector: n(9), subject: n(0), at: t(2) }, // not yet a cycle
-            BaselineReport { detector: n(9), subject: n(0), at: t(4) }, // now deadlocked
+            BaselineReport {
+                detector: n(9),
+                subject: n(0),
+                at: t(2),
+            }, // not yet a cycle
+            BaselineReport {
+                detector: n(9),
+                subject: n(0),
+                at: t(4),
+            }, // now deadlocked
         ];
         let c = classify(&j, &reports);
-        assert_eq!(c, Classified { genuine: 1, phantom: 1 });
+        assert_eq!(
+            c,
+            Classified {
+                genuine: 1,
+                phantom: 1
+            }
+        );
         assert!((c.phantom_rate() - 0.5).abs() < 1e-9);
     }
 

@@ -65,7 +65,12 @@ impl CoreState {
     /// # Errors
     ///
     /// Same contract as [`cmh_core::process::BasicProcess::request`].
-    pub fn request(&mut self, now: SimTime, me: NodeId, target: NodeId) -> Result<CoreMsg, RequestError> {
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        me: NodeId,
+        target: NodeId,
+    ) -> Result<CoreMsg, RequestError> {
         if target == me {
             return Err(RequestError::SelfRequest);
         }

@@ -14,7 +14,11 @@ use simnet::time::SimTime;
 fn ring_workload(db: &mut DdbNet, k: u32) {
     for i in 0..k {
         let txn = Transaction::new(TransactionId(i + 1), SiteId(i as usize))
-            .lock(SiteId(i as usize), ResourceId(i as u64), LockMode::Exclusive)
+            .lock(
+                SiteId(i as usize),
+                ResourceId(i as u64),
+                LockMode::Exclusive,
+            )
             .work(10)
             .lock(
                 SiteId(((i + 1) % k) as usize),

@@ -57,13 +57,9 @@ fn bench_wait_edges_and_closure(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(txns), &lt, |b, lt| {
             b.iter(|| black_box(lt.wait_edges().len()));
         });
-        group.bench_with_input(
-            BenchmarkId::new("reachable_from", txns),
-            &lt,
-            |b, lt| {
-                b.iter(|| black_box(lt.reachable_from(TransactionId(txns - 1)).len()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("reachable_from", txns), &lt, |b, lt| {
+            b.iter(|| black_box(lt.reachable_from(TransactionId(txns - 1)).len()));
+        });
     }
     group.finish();
 }

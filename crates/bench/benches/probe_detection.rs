@@ -67,5 +67,10 @@ fn bench_wfgd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cycle_detection, bench_cycle_with_tails, bench_wfgd);
+criterion_group!(
+    benches,
+    bench_cycle_detection,
+    bench_cycle_with_tails,
+    bench_wfgd
+);
 criterion_main!(benches);

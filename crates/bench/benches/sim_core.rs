@@ -8,7 +8,7 @@ use simnet::latency::LatencyModel;
 use simnet::rng::DetRng;
 use simnet::sim::{Context, NodeId, Process, SimBuilder};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Token(u64);
 
 struct RingNode {
@@ -100,5 +100,10 @@ fn bench_latency_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_throughput, bench_rng, bench_latency_models);
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_rng,
+    bench_latency_models
+);
 criterion_main!(benches);

@@ -42,7 +42,9 @@ fn parallel_rings(db: &mut DdbNet, r: u32) {
 fn part_a() {
     const R: u32 = 8;
     const PERIOD: u64 = 200;
-    println!("## Part A: DDB computation window sweep ({R} concurrent deadlocks, period {PERIOD})\n");
+    println!(
+        "## Part A: DDB computation window sweep ({R} concurrent deadlocks, period {PERIOD})\n"
+    );
     let mut t = Table::new([
         "window",
         "declared after 2 periods",
@@ -57,7 +59,8 @@ fn part_a() {
         let mut cells = Vec::new();
         for periods in [2u64, 5, 20] {
             db.run_until(SimTime::from_ticks(PERIOD * (periods + 1)));
-            db.verify_soundness().expect("soundness holds at any window");
+            db.verify_soundness()
+                .expect("soundness holds at any window");
             cells.push(db.declarations().len().to_string());
         }
         let complete = db.verify_completeness().is_ok();
@@ -66,7 +69,11 @@ fn part_a() {
             cells[0].clone(),
             cells[1].clone(),
             cells[2].clone(),
-            if complete { "yes".to_string() } else { "NO".to_string() },
+            if complete {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t.print();
@@ -92,7 +99,10 @@ fn part_b() {
     ];
     for (label, edges) in topologies {
         let n = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap() + 1;
-        for policy in [ForwardPolicy::FirstMeaningful, ForwardPolicy::EveryMeaningful] {
+        for policy in [
+            ForwardPolicy::FirstMeaningful,
+            ForwardPolicy::EveryMeaningful,
+        ] {
             let cfg = BasicConfig {
                 forward: policy,
                 ..BasicConfig::on_block(4)
@@ -101,7 +111,8 @@ fn part_b() {
             net.request_edges(&edges).unwrap();
             let out = net.run_to_quiescence(300_000);
             // QRP2 survives either policy.
-            net.verify_soundness().expect("soundness independent of forwarding");
+            net.verify_soundness()
+                .expect("soundness independent of forwarding");
             t.row([
                 label.clone(),
                 match policy {
@@ -112,7 +123,11 @@ fn part_b() {
                     .get(cmh_core::process::counters::PROBE_SENT)
                     .to_string(),
                 out.events.to_string(),
-                if out.quiescent { "yes".to_string() } else { "NO (cap hit)".to_string() },
+                if out.quiescent {
+                    "yes".to_string()
+                } else {
+                    "NO (cap hit)".to_string()
+                },
                 net.declarations().len().to_string(),
             ]);
         }

@@ -98,7 +98,9 @@ fn run_all(n: usize, seed: u64) -> Vec<Row> {
         let c = net.classify_reports();
         rows.push(Row {
             detector: label.into(),
-            detection_msgs: net.metrics().get(baselines::central::counters::SNAP_REQUEST)
+            detection_msgs: net
+                .metrics()
+                .get(baselines::central::counters::SNAP_REQUEST)
                 + net.metrics().get(baselines::central::counters::SNAP_REPLY),
             reports: c.genuine + c.phantom,
             genuine: c.genuine,

@@ -43,7 +43,11 @@ fn main() {
     ] {
         for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
             // Average over a few seeds for the stochastic model.
-            let seeds: &[u64] = if label.starts_with("fixed") { &[1] } else { &[1, 2, 3, 4, 5] };
+            let seeds: &[u64] = if label.starts_with("fixed") {
+                &[1]
+            } else {
+                &[1, 2, 3, 4, 5]
+            };
             let total: u64 = seeds.iter().map(|&s| run(n, model.clone(), s).0).sum();
             let lat = total as f64 / seeds.len() as f64;
             t.row([

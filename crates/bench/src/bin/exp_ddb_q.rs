@@ -13,12 +13,7 @@ use cmh_ddb::{DdbConfig, DdbInitiation, DdbNet};
 use simnet::time::SimTime;
 use workloads::{random_transactions, DdbWorkloadConfig};
 
-fn run(
-    sites: usize,
-    transactions: usize,
-    seed: u64,
-    naive: bool,
-) -> (u64, u64, usize, usize, u64) {
+fn run(sites: usize, transactions: usize, seed: u64, naive: bool) -> (u64, u64, usize, usize, u64) {
     let wl = DdbWorkloadConfig {
         sites,
         transactions,
@@ -83,7 +78,11 @@ fn main() {
             }
             t.row([
                 format!("{sites} x {txns}"),
-                if naive { "naive".to_string() } else { "Q-opt".to_string() },
+                if naive {
+                    "naive".to_string()
+                } else {
+                    "Q-opt".to_string()
+                },
                 comps.to_string(),
                 probes.to_string(),
                 decls.to_string(),

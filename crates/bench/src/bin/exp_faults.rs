@@ -1,0 +1,274 @@
+//! E12 — fault injection and the reliable-transport repair.
+//!
+//! The paper assumes messages are "received correctly and in order" and
+//! every message arrives in finite time (P4). E12 measures what those
+//! assumptions are worth: a seeded [`simnet::faults::FaultPlan`] injects
+//! message loss, duplication, reordering and a node crash/restart, and the
+//! detector is scored against the wait-for-graph oracle with the
+//! reliable-delivery layer ([`simnet::reliable`]) **off** (the axioms are
+//! simply broken) and **on** (sequence numbers + cumulative acks +
+//! retransmission rebuild them over the faulty wire).
+//!
+//! * **Part A** — a guaranteed ring(6) deadlock under a loss sweep: how
+//!   often is the deadlock missed (QRP1 lost) or a phantom declared
+//!   (QRP2 lost)?
+//! * **Part B** — chaos Monte-Carlo: random churn with injected cycles,
+//!   plus loss + duplication + reordering + one crash/restart of a node.
+//!   With the reliable layer on, both violation counts must be zero.
+//! * **Part C** — the price of the repair: retransmissions, acks and
+//!   detection latency versus loss rate.
+
+use cmh_bench::Table;
+use cmh_core::engine::ValidationError;
+use cmh_core::{BasicConfig, BasicNet};
+use simnet::faults::FaultPlan;
+use simnet::metrics::builtin;
+use simnet::reliable::ReliableConfig;
+use simnet::sim::{NodeId, SimBuilder};
+use simnet::time::SimTime;
+use wfg::generators;
+use workloads::{drive_schedule, random_churn, ChurnConfig};
+
+const RING_SEEDS: u64 = 40;
+const CHAOS_SEEDS: u64 = 25;
+const MAX_EVENTS: u64 = 50_000_000;
+
+fn builder(seed: u64, plan: FaultPlan, reliable: bool) -> SimBuilder {
+    let b = SimBuilder::new().seed(seed).faults(plan);
+    if reliable {
+        b.reliable(ReliableConfig::default())
+    } else {
+        b
+    }
+}
+
+#[derive(Default)]
+struct Score {
+    detected: u64,
+    missed: u64,
+    false_pos: u64,
+    /// Runs where lost/duplicated grant or relinquish messages corrupted the
+    /// resource protocol itself (the journal is no longer a legal G1–G4
+    /// history), so detection cannot even be scored. Raw transport only.
+    corrupted: u64,
+}
+
+fn score(net: &BasicNet, s: &mut Score) {
+    match net.verify_soundness() {
+        Ok(_) => {}
+        Err(ValidationError::FalseDeadlock { .. }) => s.false_pos += 1,
+        Err(ValidationError::IllegalHistory { .. }) => {
+            s.corrupted += 1;
+            return;
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    }
+    match net.verify_completeness() {
+        Ok(_) => s.detected += 1,
+        Err(ValidationError::MissedDeadlock { .. }) => s.missed += 1,
+        Err(ValidationError::IllegalHistory { .. }) => s.corrupted += 1,
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+/// Part A: guaranteed ring(6) deadlock under message loss.
+fn ring_runs(loss: f64, reliable: bool) -> Score {
+    let mut s = Score::default();
+    for seed in 0..RING_SEEDS {
+        let plan = FaultPlan::new().loss(loss);
+        let mut net =
+            BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, reliable));
+        net.request_edges(&generators::cycle(6)).unwrap();
+        net.run_to_quiescence(MAX_EVENTS);
+        score(&net, &mut s);
+    }
+    s
+}
+
+/// The Part B fault mix: loss + duplication + reordering, plus node 1
+/// crashing mid-run (losing its volatile detector state) and restarting.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .loss(0.10)
+        .duplicate(0.05)
+        .reorder(0.10, 50)
+        .crash(
+            NodeId(1),
+            SimTime::from_ticks(1_500),
+            Some(SimTime::from_ticks(2_100)),
+        )
+}
+
+/// Part B: churn with injected cycles under the chaos plan.
+fn chaos_runs(reliable: bool) -> Score {
+    let mut s = Score::default();
+    for seed in 0..CHAOS_SEEDS {
+        let sched = random_churn(&ChurnConfig {
+            n: 12,
+            duration: 4_000,
+            mean_gap: 25,
+            cycle_prob: 0.06,
+            cycle_len: 3,
+            seed,
+        });
+        let mut net = BasicNet::with_builder(
+            sched.n,
+            BasicConfig::on_block(15),
+            builder(seed, chaos_plan(), reliable),
+        );
+        drive_schedule(
+            &mut net,
+            &sched,
+            |x, at| {
+                x.run_until(at);
+            },
+            // A crashed node can neither issue nor accept work; skipping
+            // such injections keeps the driver honest in both modes.
+            |x, f, t| !x.is_crashed(f) && !x.is_crashed(t) && x.request(f, t).is_ok(),
+        );
+        net.run_to_quiescence(MAX_EVENTS);
+        score(&net, &mut s);
+    }
+    s
+}
+
+/// Part C row: overhead and latency of the reliable layer on ring(6).
+struct Overhead {
+    app_msgs: u64,
+    retransmissions: u64,
+    acks: u64,
+    dropped: u64,
+    duplicated: u64,
+    mean_latency: f64,
+}
+
+fn overhead_runs(loss: f64) -> Overhead {
+    let (mut app, mut retx, mut acks, mut dropped, mut dup) = (0u64, 0, 0, 0, 0);
+    let mut latency_sum = 0u64;
+    let mut latency_n = 0u64;
+    for seed in 0..RING_SEEDS {
+        let plan = FaultPlan::new().loss(loss);
+        let mut net =
+            BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, true));
+        net.request_edges(&generators::cycle(6)).unwrap();
+        net.run_to_quiescence(MAX_EVENTS);
+        let m = net.metrics();
+        app += m.get(builtin::MESSAGES_SENT);
+        retx += m.get(builtin::RETRANSMISSIONS);
+        acks += m.get(builtin::ACKS_SENT);
+        dropped += m.get(builtin::MESSAGES_DROPPED);
+        dup += m.get(builtin::MESSAGES_DUPLICATED);
+        if let Some(d) = net.declarations().first() {
+            latency_sum += d.at.ticks();
+            latency_n += 1;
+        }
+    }
+    Overhead {
+        app_msgs: app,
+        retransmissions: retx,
+        acks,
+        dropped,
+        duplicated: dup,
+        mean_latency: if latency_n == 0 {
+            f64::NAN
+        } else {
+            latency_sum as f64 / latency_n as f64
+        },
+    }
+}
+
+fn transport(reliable: bool) -> &'static str {
+    if reliable {
+        "reliable (seq+ack+retx)"
+    } else {
+        "raw (axioms broken)"
+    }
+}
+
+fn main() {
+    println!("# E12: fault injection vs the reliable transport\n");
+
+    println!("## Part A: ring(6) deadlock under message loss ({RING_SEEDS} seeds per cell)\n");
+    let mut a = Table::new([
+        "loss rate",
+        "transport",
+        "runs detected",
+        "runs with missed deadlock",
+        "runs with false deadlock",
+    ]);
+    for &loss in &[0.0, 0.05, 0.10, 0.20] {
+        for reliable in [false, true] {
+            let s = ring_runs(loss, reliable);
+            a.row([
+                format!("{:.0}%", loss * 100.0),
+                transport(reliable).to_string(),
+                s.detected.to_string(),
+                s.missed.to_string(),
+                s.false_pos.to_string(),
+            ]);
+        }
+    }
+    a.print();
+
+    println!(
+        "\n## Part B: chaos Monte-Carlo ({CHAOS_SEEDS} seeds; churn + injected cycles;\n\
+         loss 10%, dup 5%, reorder 10%, node 1 crash at t=1500, restart t=2100)\n"
+    );
+    let mut b = Table::new([
+        "transport",
+        "runs clean",
+        "runs with missed deadlock",
+        "runs with false deadlock",
+        "runs with corrupted resource protocol",
+    ]);
+    let mut reliable_clean = true;
+    for reliable in [false, true] {
+        let s = chaos_runs(reliable);
+        if reliable && (s.missed > 0 || s.false_pos > 0 || s.corrupted > 0) {
+            reliable_clean = false;
+        }
+        b.row([
+            transport(reliable).to_string(),
+            s.detected.to_string(),
+            s.missed.to_string(),
+            s.false_pos.to_string(),
+            s.corrupted.to_string(),
+        ]);
+    }
+    b.print();
+
+    println!("\n## Part C: the price of the repair (ring(6), reliable on, {RING_SEEDS} seeds)\n");
+    let mut c = Table::new([
+        "loss rate",
+        "app msgs",
+        "retransmissions",
+        "acks",
+        "wire drops",
+        "wire dups",
+        "retx per app msg",
+        "mean detection latency (ticks)",
+    ]);
+    for &loss in &[0.0, 0.05, 0.10, 0.20] {
+        let o = overhead_runs(loss);
+        c.row([
+            format!("{:.0}%", loss * 100.0),
+            o.app_msgs.to_string(),
+            o.retransmissions.to_string(),
+            o.acks.to_string(),
+            o.dropped.to_string(),
+            o.duplicated.to_string(),
+            format!("{:.3}", o.retransmissions as f64 / o.app_msgs as f64),
+            format!("{:.1}", o.mean_latency),
+        ]);
+    }
+    c.print();
+
+    println!();
+    if reliable_clean {
+        println!("claim check: with the reliable layer off, loss and crashes break QRP1");
+        println!("(missed deadlocks) readily; with it on, every chaos run detects exactly");
+        println!("the oracle's deadlocks — the transport restores P1/P2/P4 end to end. PASS");
+    } else {
+        println!("claim check: FAIL — violations observed with the reliable layer on.");
+    }
+}

@@ -115,7 +115,10 @@ fn churn_runs(fifo: bool) -> (usize, u64, u64) {
 }
 
 fn main() {
-    println!("# E9: FIFO-channel ablation ({SEEDS} ring seeds, {} churn seeds)\n", SEEDS / 2);
+    println!(
+        "# E9: FIFO-channel ablation ({SEEDS} ring seeds, {} churn seeds)\n",
+        SEEDS / 2
+    );
     let mut t = Table::new([
         "scenario",
         "channels",
@@ -127,7 +130,11 @@ fn main() {
         let (detected, missed, false_pos) = ring_runs(fifo);
         t.row([
             "ring(6), wide latency".to_string(),
-            if fifo { "FIFO (model)".into() } else { "unordered (broken)".to_string() },
+            if fifo {
+                "FIFO (model)".into()
+            } else {
+                "unordered (broken)".to_string()
+            },
             detected.to_string(),
             missed.to_string(),
             false_pos.to_string(),
@@ -137,7 +144,11 @@ fn main() {
         let (detected, missed, false_pos) = single_initiator_runs(fifo);
         t.row([
             "ring(6), single initiator".to_string(),
-            if fifo { "FIFO (model)".into() } else { "unordered (broken)".to_string() },
+            if fifo {
+                "FIFO (model)".into()
+            } else {
+                "unordered (broken)".to_string()
+            },
             detected.to_string(),
             missed.to_string(),
             false_pos.to_string(),
@@ -147,7 +158,11 @@ fn main() {
         let (reports, missed, false_pos) = churn_runs(fifo);
         t.row([
             "churn + injected cycles".to_string(),
-            if fifo { "FIFO (model)".into() } else { "unordered (broken)".to_string() },
+            if fifo {
+                "FIFO (model)".into()
+            } else {
+                "unordered (broken)".to_string()
+            },
             reports.to_string(),
             missed.to_string(),
             false_pos.to_string(),

@@ -54,7 +54,11 @@ fn part_a() {
             net.metrics().get(counters::QUERY_SENT).to_string(),
             net.metrics().get(counters::REPLY_SENT).to_string(),
             net.declarations().len().to_string(),
-            if ok { "yes".to_string() } else { "NO".to_string() },
+            if ok {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     for k in [4usize, 8, 12] {
@@ -65,7 +69,10 @@ fn part_a() {
         let edges = k * (k - 1);
         let q = net.metrics().get(counters::QUERY_SENT);
         let r = net.metrics().get(counters::REPLY_SENT);
-        assert!(q <= edges as u64 && r <= edges as u64, "message bound violated");
+        assert!(
+            q <= edges as u64 && r <= edges as u64,
+            "message bound violated"
+        );
         let ok = net.verify_soundness().is_ok();
         t.row([
             format!("complete({k})"),
@@ -74,7 +81,11 @@ fn part_a() {
             q.to_string(),
             r.to_string(),
             net.declarations().len().to_string(),
-            if ok { "yes".to_string() } else { "NO".to_string() },
+            if ok {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     // A knot with a single active escape hatch: must NOT declare.
@@ -120,12 +131,20 @@ fn part_b() {
         let mut net = OrNet::new(10, Some(25), seed);
         drive_or(&mut net, &scenario);
         net.run_to_quiescence(10_000_000);
-        reports += net.verify_soundness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        reports += net
+            .verify_soundness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         deadlocked += net
             .verify_completeness()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
-    let mut t = Table::new(["runs", "declarations", "false", "OR-deadlocked processes", "missed"]);
+    let mut t = Table::new([
+        "runs",
+        "declarations",
+        "false",
+        "OR-deadlocked processes",
+        "missed",
+    ]);
     t.row([
         "120".to_string(),
         reports.to_string(),

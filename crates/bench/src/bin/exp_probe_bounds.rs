@@ -26,7 +26,8 @@ fn run(topology: &Topology, label: &str, table: &mut Table) {
     let n = topology.vertex_count();
     let edges = topology.edges();
     let mut net = BasicNet::new(n, BasicConfig::on_block(4), 42);
-    net.request_edges(&edges).expect("generator produces legal requests");
+    net.request_edges(&edges)
+        .expect("generator produces legal requests");
     net.run_to_quiescence(50_000_000);
     net.verify_soundness().expect("QRP2");
     let per_tag = probes_per_computation(&net);
@@ -39,7 +40,12 @@ fn run(topology: &Topology, label: &str, table: &mut Table) {
         edges.len().to_string(),
         computations.to_string(),
         max_probes.to_string(),
-        (if max_probes <= edges.len() as u64 { "yes" } else { "NO" }).to_string(),
+        (if max_probes <= edges.len() as u64 {
+            "yes"
+        } else {
+            "NO"
+        })
+        .to_string(),
         total.to_string(),
     ]);
     assert!(
@@ -68,13 +74,21 @@ fn main() {
     }
     for (c, tl, k) in [(4usize, 2usize, 2usize), (8, 4, 4), (16, 8, 8)] {
         run(
-            &Topology::CycleWithTails { cycle_len: c, tail_len: tl, n_tails: k },
+            &Topology::CycleWithTails {
+                cycle_len: c,
+                tail_len: tl,
+                n_tails: k,
+            },
             &format!("cyc+tails({c},{tl},{k})"),
             &mut t,
         );
     }
     for (n, p, seed) in [(32usize, 0.05, 7u64), (64, 0.03, 7), (128, 0.02, 7)] {
-        run(&Topology::Random { n, p, seed }, &format!("random({n},{p})"), &mut t);
+        run(
+            &Topology::Random { n, p, seed },
+            &format!("random({n},{p})"),
+            &mut t,
+        );
     }
     t.print();
     println!("claim check: on cycle(N) the max probes per computation equals N (one per edge);");

@@ -120,7 +120,14 @@ fn main() {
             total.to_string(),
             genuine.to_string(),
             phantom.to_string(),
-            format!("{:.3}", if total == 0 { 0.0 } else { phantom as f64 / total as f64 }),
+            format!(
+                "{:.3}",
+                if total == 0 {
+                    0.0
+                } else {
+                    phantom as f64 / total as f64
+                }
+            ),
             "-".to_string(),
         ]);
     }
@@ -156,7 +163,14 @@ fn main() {
             total.to_string(),
             genuine.to_string(),
             phantom.to_string(),
-            format!("{:.3}", if total == 0 { 0.0 } else { phantom as f64 / total as f64 }),
+            format!(
+                "{:.3}",
+                if total == 0 {
+                    0.0
+                } else {
+                    phantom as f64 / total as f64
+                }
+            ),
             "-".to_string(),
         ]);
     }

@@ -28,7 +28,9 @@ fn policy(t: u64) -> BasicConfig {
         } else {
             InitiationPolicy::Delayed { t }
         },
-        reply: ReplyPolicy::AfterDelay { service_delay: SERVICE_DELAY },
+        reply: ReplyPolicy::AfterDelay {
+            service_delay: SERVICE_DELAY,
+        },
         ..BasicConfig::default()
     }
 }
@@ -79,7 +81,11 @@ fn part_a() {
             probes += net.metrics().get(counters::PROBE_SENT);
         }
         table.row([
-            if t == 0 { "0 (on-block)".to_string() } else { t.to_string() },
+            if t == 0 {
+                "0 (on-block)".to_string()
+            } else {
+                t.to_string()
+            },
             issued.to_string(),
             comps.to_string(),
             avoided.to_string(),
@@ -117,7 +123,11 @@ fn part_b() {
         }
         let lat = lat_sum as f64 / SEEDS.len() as f64;
         table.row([
-            if t == 0 { "0 (on-block)".to_string() } else { t.to_string() },
+            if t == 0 {
+                "0 (on-block)".to_string()
+            } else {
+                t.to_string()
+            },
             format!("{lat:.0}"),
             format!("{:.0}", lat - t as f64),
             format!("{:.1}", comp_sum as f64 / SEEDS.len() as f64),

@@ -63,13 +63,21 @@ fn main() {
     }
     for (c, tl, k) in [(3usize, 2usize, 2usize), (4, 4, 4), (8, 2, 8)] {
         run(
-            &Topology::CycleWithTails { cycle_len: c, tail_len: tl, n_tails: k },
+            &Topology::CycleWithTails {
+                cycle_len: c,
+                tail_len: tl,
+                n_tails: k,
+            },
             &format!("cyc+tails({c},{tl},{k})"),
             &mut t,
         );
     }
     for (a, b) in [(3usize, 3usize), (4, 7)] {
-        run(&Topology::FigureEight { a, b }, &format!("fig8({a},{b})"), &mut t);
+        run(
+            &Topology::FigureEight { a, b },
+            &format!("fig8({a},{b})"),
+            &mut t,
+        );
     }
     t.print();
     println!("claim check: every vertex's S_j equals the oracle's permanent-black-path");

@@ -17,6 +17,10 @@
 //! | `exp_baselines` | E6: message bill vs centralised / path-pushing / timeout |
 //! | `exp_wfgd` | E7: §5 WFGD sets converge to the oracle closure |
 //! | `exp_cycle_latency` | E8: detection latency grows linearly in cycle length |
+//! | `exp_fifo_ablation` | E9: ordered channels (P1/P2) are a necessary assumption |
+//! | `exp_or_model` | E10: companion OR-model detector bounds and correctness |
+//! | `exp_ablations` | E11: computation-window and forward-policy ablations |
+//! | `exp_faults` | E12: faults break P1/P2/P4; the reliable transport restores them |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -101,7 +105,10 @@ pub fn formation_time(journal: &Journal, v: NodeId, declared_at: SimTime) -> Sim
         let g = journal.replay_until(t).expect("legal history");
         oracle::is_on_dark_cycle(&g, v)
     };
-    assert!(on_cycle_at(declared_at), "subject not deadlocked at declaration");
+    assert!(
+        on_cycle_at(declared_at),
+        "subject not deadlocked at declaration"
+    );
     // Binary search over journal entry indices for the first prefix under
     // which v is on a dark cycle.
     let mut lo = 0usize; // first lo entries applied: not yet known cyclic

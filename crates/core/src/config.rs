@@ -5,8 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 /// When a vertex starts a probe computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum InitiationPolicy {
     /// §4.2: initiate whenever an outgoing edge is added to the wait-for
     /// graph. Guarantees that the vertex whose request closes a dark cycle
@@ -24,7 +23,6 @@ pub enum InitiationPolicy {
     /// a single initiator.
     Never,
 }
-
 
 /// How the *underlying* computation (requests/replies, not deadlock
 /// detection) behaves at this process.

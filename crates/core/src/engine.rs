@@ -50,9 +50,10 @@ pub enum ValidationError {
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::FalseDeadlock { report } =>
-
-                write!(f, "false deadlock: {report} but declarer was not on a black cycle"),
+            ValidationError::FalseDeadlock { report } => write!(
+                f,
+                "false deadlock: {report} but declarer was not on a black cycle"
+            ),
             ValidationError::MissedDeadlock { cycle_members } => write!(
                 f,
                 "missed deadlock: dark cycle over {cycle_members:?} but no member declared"
@@ -174,6 +175,18 @@ impl BasicNet {
         self.sim.node(id)
     }
 
+    /// Immutable access to a vertex, or `None` if `id` is out of range.
+    pub fn try_node(&self, id: NodeId) -> Option<&BasicProcess> {
+        self.sim.try_node(id)
+    }
+
+    /// True if the fault plan currently has `id` crashed (see
+    /// [`simnet::faults::FaultPlan`]; install one via
+    /// [`BasicNet::with_builder`]).
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.sim.is_crashed(id)
+    }
+
     /// Number of vertices.
     pub fn node_count(&self) -> usize {
         self.sim.node_count()
@@ -218,7 +231,9 @@ impl BasicNet {
         self.journal
             .borrow()
             .replay_until(at)
-            .map_err(|e| ValidationError::IllegalHistory { detail: e.to_string() })
+            .map_err(|e| ValidationError::IllegalHistory {
+                detail: e.to_string(),
+            })
     }
 
     /// The wait-for graph right now.
@@ -269,9 +284,7 @@ impl BasicNet {
         let mut total = 0;
         for scc in sccs.into_iter().filter(|c| c.len() >= 2) {
             total += scc.len();
-            let any_declared = scc
-                .iter()
-                .any(|&v| self.node(v).deadlock().is_some());
+            let any_declared = scc.iter().any(|&v| self.node(v).deadlock().is_some());
             if !any_declared {
                 return Err(ValidationError::MissedDeadlock { cycle_members: scc });
             }
@@ -338,7 +351,10 @@ mod tests {
         // Tail vertices are permanently blocked but NOT on a cycle; QRP2
         // means they can never declare.
         for i in 3..7 {
-            assert!(net.node(n(i)).deadlock().is_none(), "tail vertex {i} declared");
+            assert!(
+                net.node(n(i)).deadlock().is_none(),
+                "tail vertex {i} declared"
+            );
         }
         net.verify_completeness().unwrap();
     }
@@ -358,10 +374,69 @@ mod tests {
     }
 
     #[test]
+    fn crash_of_cycle_member_still_detected_with_reliable_transport() {
+        use simnet::faults::FaultPlan;
+        use simnet::reliable::ReliableConfig;
+
+        // Node 1 of a 4-cycle crashes mid-detection, losing its volatile
+        // `latest` array, and restarts. The reliable layer redelivers
+        // everything sent into the outage, and on_restart re-initiates, so
+        // the deadlock is still found — and soundly.
+        for seed in [1u64, 2, 3, 4, 5] {
+            let plan = FaultPlan::new().crash(
+                n(1),
+                SimTime::from_ticks(6),
+                Some(SimTime::from_ticks(120)),
+            );
+            let builder = SimBuilder::new()
+                .seed(seed)
+                .faults(plan)
+                .reliable(ReliableConfig::default());
+            let mut net = BasicNet::with_builder(4, BasicConfig::on_block(4), builder);
+            net.request_edges(&generators::cycle(4)).unwrap();
+            let out = net.run_to_quiescence(10_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            net.verify_soundness().unwrap();
+            net.verify_completeness().unwrap();
+            assert!(
+                !net.declarations().is_empty(),
+                "seed {seed}: crash+restart must not mask the deadlock"
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_crash_outside_cycle_does_not_block_detection() {
+        use simnet::faults::FaultPlan;
+        use simnet::reliable::ReliableConfig;
+
+        // Node 3 waits on the 3-cycle {0,1,2} but is not on it; node 3
+        // crashing forever must not stop the cycle from being detected,
+        // and abandonment must let the run quiesce.
+        let plan = FaultPlan::new().crash(n(3), SimTime::from_ticks(1), None);
+        let builder = SimBuilder::new()
+            .seed(9)
+            .faults(plan)
+            .reliable(ReliableConfig {
+                rto_initial: 16,
+                rto_cap: 128,
+                max_attempts: 5,
+            });
+        let mut net = BasicNet::with_builder(4, BasicConfig::on_block(4), builder);
+        net.request_edges(&[(0, 1), (1, 2), (2, 0), (3, 0)])
+            .unwrap();
+        let out = net.run_to_quiescence(10_000_000);
+        assert!(out.quiescent);
+        net.verify_soundness().unwrap();
+        assert!(!net.declarations().is_empty());
+    }
+
+    #[test]
     fn declarations_sorted_by_time() {
         // Two independent 2-cycles; declarations from both appear sorted.
         let mut net = BasicNet::new(4, BasicConfig::on_block(3), 77);
-        net.request_edges(&[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        net.request_edges(&[(0, 1), (1, 0), (2, 3), (3, 2)])
+            .unwrap();
         net.run_to_quiescence(1_000_000);
         let ds = net.declarations();
         assert!(ds.len() >= 2);

@@ -163,7 +163,10 @@ impl LiveProcess<LiveMsg> for LiveVertex {
     fn on_start(&mut self, ctx: &mut LiveContext<LiveMsg>) {
         if self.initial_request.is_some() {
             // Stagger kick-offs a little so greys and blacks both occur.
-            ctx.set_timer(Duration::from_millis(3 + ctx.id().0 as u64 * 2), TAG_KICKOFF);
+            ctx.set_timer(
+                Duration::from_millis(3 + ctx.id().0 as u64 * 2),
+                TAG_KICKOFF,
+            );
         }
     }
 

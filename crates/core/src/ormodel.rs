@@ -116,10 +116,7 @@ impl OrJournal {
 ///
 /// Members of such a closure wait only on closure members, and no closure
 /// member can ever send, so the condition is permanent.
-pub fn is_or_deadlocked(
-    state: &BTreeMap<NodeId, Option<BTreeSet<NodeId>>>,
-    v: NodeId,
-) -> bool {
+pub fn is_or_deadlocked(state: &BTreeMap<NodeId, Option<BTreeSet<NodeId>>>, v: NodeId) -> bool {
     let mut seen = BTreeSet::new();
     let mut frontier = vec![v];
     while let Some(u) = frontier.pop() {
@@ -248,7 +245,8 @@ impl OrProcess {
             return Err(OrRequestError::BadDependentSet);
         }
         if let Some(j) = &self.journal {
-            j.borrow_mut().record(ctx.now(), OrOp::Block(ctx.id(), deps.clone()));
+            j.borrow_mut()
+                .record(ctx.now(), OrOp::Block(ctx.id(), deps.clone()));
         }
         self.waiting_on = Some(deps);
         self.epoch += 1;
@@ -279,7 +277,9 @@ impl OrProcess {
 
     /// Starts a diffusion for this (blocked) process. No-op when active.
     pub fn initiate(&mut self, ctx: &mut Context<'_, OrMsg>) {
-        let Some(deps) = self.waiting_on.clone() else { return };
+        let Some(deps) = self.waiting_on.clone() else {
+            return;
+        };
         self.own_n += 1;
         let tag = ProbeTag::new(ctx.id(), self.own_n);
         ctx.count(counters::INITIATED);
@@ -335,7 +335,9 @@ impl OrProcess {
 
     fn on_reply(&mut self, ctx: &mut Context<'_, OrMsg>, tag: ProbeTag) {
         let me = ctx.id();
-        let Some(e) = self.engagements.get_mut(&tag.initiator) else { return };
+        let Some(e) = self.engagements.get_mut(&tag.initiator) else {
+            return;
+        };
         if e.n != tag.n || e.replied {
             return;
         }
@@ -655,17 +657,20 @@ mod tests {
     #[test]
     fn block_and_send_errors() {
         let mut net = OrNet::new(2, None, 5);
-        assert_eq!(
-            net.block_on(n(0), []),
-            Err(OrRequestError::BadDependentSet)
-        );
+        assert_eq!(net.block_on(n(0), []), Err(OrRequestError::BadDependentSet));
         assert_eq!(
             net.block_on(n(0), [n(0)]),
             Err(OrRequestError::BadDependentSet)
         );
         net.block_on(n(0), [n(1)]).unwrap();
-        assert_eq!(net.block_on(n(0), [n(1)]), Err(OrRequestError::AlreadyBlocked));
-        assert_eq!(net.send_data(n(0), n(1)), Err(OrRequestError::SenderBlocked));
+        assert_eq!(
+            net.block_on(n(0), [n(1)]),
+            Err(OrRequestError::AlreadyBlocked)
+        );
+        assert_eq!(
+            net.send_data(n(0), n(1)),
+            Err(OrRequestError::SenderBlocked)
+        );
     }
 
     #[test]

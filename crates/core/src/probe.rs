@@ -24,9 +24,7 @@ use simnet::time::SimTime;
 /// assert!(new.supersedes(old));
 /// assert_eq!(new.to_string(), "(p3, 2)");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProbeTag {
     /// The vertex that started this computation.
     pub initiator: NodeId,

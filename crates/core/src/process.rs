@@ -313,7 +313,10 @@ impl BasicProcess {
     }
 
     fn reply_to(&mut self, ctx: &mut Context<'_, BasicMsg>, requester: NodeId) {
-        debug_assert!(self.out_waits.is_empty(), "G3: blocked process cannot reply");
+        debug_assert!(
+            self.out_waits.is_empty(),
+            "G3: blocked process cannot reply"
+        );
         debug_assert!(self.in_black.contains(&requester));
         self.in_black.remove(&requester);
         self.record(ctx, GraphOp::Whiten(requester, ctx.id()));
@@ -323,8 +326,7 @@ impl BasicProcess {
 
     fn schedule_serve_if_needed(&mut self, ctx: &mut Context<'_, BasicMsg>) {
         if let ReplyPolicy::AfterDelay { service_delay } = self.cfg.reply {
-            if !self.serve_timer_pending && self.out_waits.is_empty() && !self.in_black.is_empty()
-            {
+            if !self.serve_timer_pending && self.out_waits.is_empty() && !self.in_black.is_empty() {
                 self.serve_timer_pending = true;
                 ctx.set_timer(service_delay, TAG_SERVE);
             }
@@ -346,7 +348,9 @@ impl BasicProcess {
                 };
                 self.declarations.push(report);
                 ctx.count(counters::DECLARED);
-                ctx.note(format!("DECLARE deadlock: {me} on black cycle, computation {tag}"));
+                ctx.note(format!(
+                    "DECLARE deadlock: {me} on black cycle, computation {tag}"
+                ));
                 // §5: begin the WFGD propagation along incoming black edges.
                 let msgs = self.wfgd.start(me, self.in_black.iter().copied());
                 for (to, set) in msgs {
@@ -442,6 +446,40 @@ impl Process<BasicMsg> for BasicProcess {
             other => debug_assert!(false, "unknown timer tag {other}"),
         }
     }
+
+    /// Crash recovery (experiment E12).
+    ///
+    /// The volatile / stable-storage split: the wait-for edges
+    /// (`out_waits`, `in_black`) and the initiation counter `own_n` model
+    /// durable resource state, while the detector's §4.3 bookkeeping — the
+    /// O(N) `latest` array and the probe-per-edge ledger — is volatile and
+    /// lost. Any computation this vertex was tracking is therefore
+    /// forgotten; correctness is restored by re-initiating per the
+    /// configured policy (a genuinely deadlocked vertex is still blocked
+    /// after restart, so its fresh computation finds the cycle again).
+    fn on_restart(&mut self, ctx: &mut Context<'_, BasicMsg>) {
+        self.latest.clear();
+        self.probe_edges_used.clear();
+        // All timers armed before the crash are gone; forget their
+        // bookkeeping so late firings are ignored, then re-arm.
+        self.delayed_timers.clear();
+        self.serve_timer_pending = false;
+        self.schedule_serve_if_needed(ctx);
+        if self.out_waits.is_empty() {
+            return;
+        }
+        match self.cfg.initiation {
+            InitiationPolicy::OnBlock => self.initiate(ctx),
+            InitiationPolicy::Delayed { t } => {
+                for target in self.out_waits.clone() {
+                    let epoch = self.wait_epoch.get(&target).copied().unwrap_or(0);
+                    let id = ctx.set_timer(t, TAG_DELAYED_INIT);
+                    self.delayed_timers.insert(id, (target, epoch));
+                }
+            }
+            InitiationPolicy::Never => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -496,7 +534,9 @@ mod tests {
         sim.with_node(n(0), |p, ctx| p.request(ctx, n(1)).unwrap());
         sim.with_node(n(1), |p, ctx| p.request(ctx, n(0)).unwrap());
         sim.run_to_quiescence(10_000);
-        let declared = (0..2).filter(|&i| sim.node(n(i)).deadlock().is_some()).count();
+        let declared = (0..2)
+            .filter(|&i| sim.node(n(i)).deadlock().is_some())
+            .count();
         assert!(declared >= 1, "at least one vertex must declare");
     }
 
@@ -634,7 +674,9 @@ mod tests {
         sim.with_node(n(1), |p, ctx| p.request(ctx, n(0)).unwrap());
         sim.run_to_quiescence(10_000);
         assert!(sim.metrics().get(counters::INITIATED) >= 1);
-        let declared = (0..2).filter(|&i| sim.node(n(i)).deadlock().is_some()).count();
+        let declared = (0..2)
+            .filter(|&i| sim.node(n(i)).deadlock().is_some())
+            .count();
         assert!(declared >= 1);
         // Detection latency is at least T.
         let t = (0..2)
@@ -652,7 +694,9 @@ mod tests {
             sim.with_node(n(i), |p, ctx| p.request(ctx, n((i + 1) % k)).unwrap());
         }
         sim.run_to_quiescence(100_000);
-        let declared: Vec<usize> = (0..k).filter(|&i| sim.node(n(i)).deadlock().is_some()).collect();
+        let declared: Vec<usize> = (0..k)
+            .filter(|&i| sim.node(n(i)).deadlock().is_some())
+            .collect();
         assert!(!declared.is_empty());
         // Every cycle member ends up knowing the entire cycle's edge set.
         let full: EdgeSet = (0..k).map(|i| (n(i), n((i + 1) % k))).collect();

@@ -43,8 +43,7 @@ impl Default for DdbInitiation {
 /// The paper explicitly does not treat resolution ("the question of how
 /// deadlocks should be broken is not treated here"); this is the minimal
 /// standard scheme so the workloads can make progress end-to-end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Resolution {
     /// Report only; the deadlocked transactions stay blocked forever.
     #[default]
@@ -58,7 +57,6 @@ pub enum Resolution {
         restart_backoff: Option<u64>,
     },
 }
-
 
 /// Default number of concurrent computations tracked per initiator.
 pub const DEFAULT_COMP_WINDOW: u64 = 64;
@@ -131,7 +129,9 @@ mod tests {
     fn constructors() {
         assert_eq!(
             DdbConfig::detect_and_resolve(100, 50).resolution,
-            Resolution::AbortSubject { restart_backoff: Some(50) }
+            Resolution::AbortSubject {
+                restart_backoff: Some(50)
+            }
         );
         assert_eq!(
             DdbConfig::detect_only(300).initiation,

@@ -271,7 +271,13 @@ impl Controller {
     fn transmit_wfgd(&mut self, ctx: &mut Context<'_, DdbMsg>, sends: Vec<WfgdSend>) {
         for m in sends {
             ctx.count(counters::WFGD_SENT);
-            ctx.send(m.dest.node(), DdbMsg::Wfgd { txn: m.txn, edges: m.edges });
+            ctx.send(
+                m.dest.node(),
+                DdbMsg::Wfgd {
+                    txn: m.txn,
+                    edges: m.edges,
+                },
+            );
         }
     }
 
@@ -360,7 +366,9 @@ impl Controller {
 
     fn advance(&mut self, ctx: &mut Context<'_, DdbMsg>, id: TransactionId) {
         loop {
-            let Some(st) = self.scripts.get_mut(&id) else { return };
+            let Some(st) = self.scripts.get_mut(&id) else {
+                return;
+            };
             if st.status != TxnStatus::Running || st.waiting != Waiting::None {
                 return;
             }
@@ -381,23 +389,29 @@ impl Controller {
                     ctx.set_timer(ticks, tag);
                     return;
                 }
-                TxnStep::Lock { site, resource, mode } if site == self.site => {
-                    match self.locks.request(id, resource, mode) {
-                        LockOutcome::Granted => {
-                            let st = self.scripts.get_mut(&id).expect("script exists");
-                            st.pc += 1;
-                        }
-                        LockOutcome::Queued { .. } => {
-                            let st = self.scripts.get_mut(&id).expect("script exists");
-                            st.waiting = Waiting::Local(resource);
-                            st.epoch += 1;
-                            let epoch = st.epoch;
-                            self.arm_init_check(ctx, id, epoch);
-                            return;
-                        }
+                TxnStep::Lock {
+                    site,
+                    resource,
+                    mode,
+                } if site == self.site => match self.locks.request(id, resource, mode) {
+                    LockOutcome::Granted => {
+                        let st = self.scripts.get_mut(&id).expect("script exists");
+                        st.pc += 1;
                     }
-                }
-                TxnStep::Lock { site, resource, mode } => {
+                    LockOutcome::Queued { .. } => {
+                        let st = self.scripts.get_mut(&id).expect("script exists");
+                        st.waiting = Waiting::Local(resource);
+                        st.epoch += 1;
+                        let epoch = st.epoch;
+                        self.arm_init_check(ctx, id, epoch);
+                        return;
+                    }
+                },
+                TxnStep::Lock {
+                    site,
+                    resource,
+                    mode,
+                } => {
                     st.waiting = Waiting::Remote(site, resource);
                     st.epoch += 1;
                     let epoch = st.epoch;
@@ -478,7 +492,13 @@ impl Controller {
         remote.extend(self.remote_held.remove(&id).unwrap_or_default());
         for (m, r) in remote {
             ctx.count(counters::REMOTE_RELEASE);
-            ctx.send(m.node(), DdbMsg::RemoteRelease { txn: id, resource: r });
+            ctx.send(
+                m.node(),
+                DdbMsg::RemoteRelease {
+                    txn: id,
+                    resource: r,
+                },
+            );
         }
     }
 
@@ -524,7 +544,9 @@ impl Controller {
     }
 
     fn abort_local(&mut self, ctx: &mut Context<'_, DdbMsg>, id: TransactionId) {
-        let Some(st) = self.scripts.get_mut(&id) else { return };
+        let Some(st) = self.scripts.get_mut(&id) else {
+            return;
+        };
         if st.status != TxnStatus::Running {
             return;
         }
@@ -582,7 +604,10 @@ impl Controller {
         let max_n = self
             .comps
             .range(
-                DdbProbeTag { initiator, n: 0 }..=DdbProbeTag { initiator, n: u64::MAX },
+                DdbProbeTag { initiator, n: 0 }..=DdbProbeTag {
+                    initiator,
+                    n: u64::MAX,
+                },
             )
             .next_back()
             .map(|(k, _)| k.n)
@@ -604,7 +629,10 @@ impl Controller {
         ctx.count(counters::PROBE_RECV);
         let (tail, head) = edge;
         debug_assert_eq!(head.site, self.site, "probe routed to wrong controller");
-        debug_assert_eq!(tail.txn, head.txn, "inter-controller edge spans one transaction");
+        debug_assert_eq!(
+            tail.txn, head.txn,
+            "inter-controller edge spans one transaction"
+        );
         let t = tail.txn;
         // Meaningful iff the inter-controller edge exists and is black: we
         // hold an un-granted remote request for `t` from `tail.site` (P3).
@@ -621,8 +649,13 @@ impl Controller {
         let max_n = self
             .comps
             .range(
-                DdbProbeTag { initiator: tag.initiator, n: 0 }
-                    ..=DdbProbeTag { initiator: tag.initiator, n: u64::MAX },
+                DdbProbeTag {
+                    initiator: tag.initiator,
+                    n: 0,
+                }..=DdbProbeTag {
+                    initiator: tag.initiator,
+                    n: u64::MAX,
+                },
             )
             .next_back()
             .map(|(k, _)| k.n)
@@ -758,7 +791,12 @@ impl Process<DdbMsg> for Controller {
 
     fn on_message(&mut self, ctx: &mut Context<'_, DdbMsg>, _from: NodeId, msg: DdbMsg) {
         match msg {
-            DdbMsg::RemoteRequest { txn, resource, mode, home } => {
+            DdbMsg::RemoteRequest {
+                txn,
+                resource,
+                mode,
+                home,
+            } => {
                 self.txn_home.insert(txn, home);
                 match self.locks.request(txn, resource, mode) {
                     LockOutcome::Granted => {
@@ -892,6 +930,76 @@ impl Process<DdbMsg> for Controller {
             other => debug_assert!(false, "unknown timer kind {other}"),
         }
     }
+
+    /// Crash recovery (experiment E12).
+    ///
+    /// Lock tables, scripts and inter-site wait bookkeeping model durable
+    /// state; the detector's window of probe computations (`comps`,
+    /// `own_subjects`, `own_declared`) is volatile and lost — any
+    /// computation crossing the outage dies and is superseded by fresh
+    /// ones. Every timer armed before the crash is gone, so recovery
+    /// re-arms: the periodic detector, work/init-check timers for every
+    /// live script, restart backoffs for aborted victims, and init checks
+    /// for remote agents queued in the local lock table.
+    fn on_restart(&mut self, ctx: &mut Context<'_, DdbMsg>) {
+        self.comps.clear();
+        self.own_subjects.clear();
+        self.own_declared.clear();
+        match self.cfg.initiation {
+            DdbInitiation::PeriodicQOpt { period } | DdbInitiation::PeriodicNaive { period } => {
+                let jitter = ctx.rng().next_below(period.max(1));
+                ctx.set_timer(period + jitter, enc_timer(K_PERIODIC, TransactionId(0), 0));
+            }
+            DdbInitiation::OnBlockDelayed { .. } | DdbInitiation::Never => {}
+        }
+        let ids: Vec<TransactionId> = self.scripts.keys().copied().collect();
+        for id in ids {
+            let Some(st) = self.scripts.get_mut(&id) else {
+                continue;
+            };
+            match st.status {
+                TxnStatus::Running => match &st.waiting {
+                    Waiting::Work => {
+                        // The in-progress work step restarts from scratch.
+                        st.epoch += 1;
+                        let epoch = st.epoch;
+                        let ticks = match st.txn.steps().get(st.pc) {
+                            Some(TxnStep::Work { ticks }) => *ticks,
+                            _ => 1,
+                        };
+                        ctx.set_timer(ticks, enc_timer(K_WORK, id, epoch));
+                    }
+                    Waiting::Local(_) | Waiting::Remote(..) | Waiting::Multi(_) => {
+                        // The wait itself is durable (lock queues survive);
+                        // only the pending initiation check needs re-arming.
+                        st.epoch += 1;
+                        let epoch = st.epoch;
+                        self.arm_init_check(ctx, id, epoch);
+                    }
+                    Waiting::None => self.advance(ctx, id),
+                },
+                TxnStatus::Aborted => {
+                    if let Resolution::AbortSubject {
+                        restart_backoff: Some(backoff),
+                    } = self.cfg.resolution
+                    {
+                        st.epoch += 1;
+                        let epoch = st.epoch;
+                        let jitter = ctx.rng().next_below(backoff.max(1));
+                        ctx.set_timer(backoff + jitter, enc_timer(K_RESTART, id, epoch));
+                    }
+                }
+                TxnStatus::Committed => {}
+            }
+        }
+        if let DdbInitiation::OnBlockDelayed { t } = self.cfg.initiation {
+            let queued: Vec<(TransactionId, ResourceId)> =
+                self.pending_remote.keys().copied().collect();
+            for (txn, resource) in queued {
+                ctx.set_timer(t, enc_timer(K_INIT_CHECK_REMOTE, txn, resource.0));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -926,7 +1034,10 @@ mod tests {
         let txn = Transaction::new(t(1), s(0)).lock(s(0), r(1), X).work(10);
         net.with_node(s(0).node(), |c, ctx| c.start_txn(ctx, txn));
         net.run_until(simnet::time::SimTime::from_ticks(10_000));
-        assert_eq!(net.node(s(0).node()).txn_status(t(1)), Some(TxnStatus::Committed));
+        assert_eq!(
+            net.node(s(0).node()).txn_status(t(1)),
+            Some(TxnStatus::Committed)
+        );
         assert_eq!(net.node(s(0).node()).locks().held_count(), 0);
     }
 
@@ -936,7 +1047,10 @@ mod tests {
         let txn = Transaction::new(t(1), s(0)).lock(s(1), r(7), X).work(5);
         net.with_node(s(0).node(), |c, ctx| c.start_txn(ctx, txn));
         net.run_until(simnet::time::SimTime::from_ticks(10_000));
-        assert_eq!(net.node(s(0).node()).txn_status(t(1)), Some(TxnStatus::Committed));
+        assert_eq!(
+            net.node(s(0).node()).txn_status(t(1)),
+            Some(TxnStatus::Committed)
+        );
         // The remote lock was granted and then released.
         assert_eq!(net.node(s(1).node()).locks().held_count(), 0);
         assert!(net.metrics().get(counters::REMOTE_REQUEST) >= 1);
@@ -961,7 +1075,10 @@ mod tests {
         net.run_until(simnet::time::SimTime::from_ticks(5_000));
         let decls = net.node(s(0).node()).declarations();
         assert!(!decls.is_empty(), "local deadlock not found");
-        assert!(decls.iter().all(|d| d.tag.is_none()), "should need no probes");
+        assert!(
+            decls.iter().all(|d| d.tag.is_none()),
+            "should need no probes"
+        );
         assert_eq!(net.metrics().get(counters::PROBE_SENT), 0);
     }
 
@@ -1046,8 +1163,14 @@ mod tests {
         net.with_node(s(1).node(), |c, ctx| c.start_txn(ctx, t2));
         net.run_until(simnet::time::SimTime::from_ticks(100_000));
         // Both transactions must eventually commit (victim restarts).
-        assert_eq!(net.node(s(0).node()).txn_status(t(1)), Some(TxnStatus::Committed));
-        assert_eq!(net.node(s(1).node()).txn_status(t(2)), Some(TxnStatus::Committed));
+        assert_eq!(
+            net.node(s(0).node()).txn_status(t(1)),
+            Some(TxnStatus::Committed)
+        );
+        assert_eq!(
+            net.node(s(1).node()).txn_status(t(2)),
+            Some(TxnStatus::Committed)
+        );
         assert!(net.metrics().get(counters::ABORTED) >= 1);
         assert!(net.metrics().get(counters::RESTARTED) >= 1);
         // All locks everywhere are free at the end.
@@ -1075,7 +1198,9 @@ mod tests {
         net.with_node(s(0).node(), |c, ctx| c.start_txn(ctx, t1));
         net.with_node(s(1).node(), |c, ctx| c.start_txn(ctx, t2));
         net.run_until(simnet::time::SimTime::from_ticks(20_000));
-        let total: usize = (0..2).map(|i| net.node(NodeId(i)).declarations().len()).sum();
+        let total: usize = (0..2)
+            .map(|i| net.node(NodeId(i)).declarations().len())
+            .sum();
         assert!(total >= 1);
     }
 
@@ -1086,14 +1211,29 @@ mod tests {
         // T1 batch-acquires one local and two remote locks, then commits.
         let txn = Transaction::new(t(1), s(0))
             .lock_all([
-                LockReq { site: s(0), resource: r(1), mode: X },
-                LockReq { site: s(1), resource: r(2), mode: X },
-                LockReq { site: s(2), resource: r(3), mode: X },
+                LockReq {
+                    site: s(0),
+                    resource: r(1),
+                    mode: X,
+                },
+                LockReq {
+                    site: s(1),
+                    resource: r(2),
+                    mode: X,
+                },
+                LockReq {
+                    site: s(2),
+                    resource: r(3),
+                    mode: X,
+                },
             ])
             .work(10);
         net.with_node(s(0).node(), |c, ctx| c.start_txn(ctx, txn));
         net.run_until(simnet::time::SimTime::from_ticks(20_000));
-        assert_eq!(net.node(s(0).node()).txn_status(t(1)), Some(TxnStatus::Committed));
+        assert_eq!(
+            net.node(s(0).node()).txn_status(t(1)),
+            Some(TxnStatus::Committed)
+        );
         for i in 0..3 {
             assert_eq!(net.node(NodeId(i)).locks().held_count(), 0);
         }
@@ -1111,8 +1251,16 @@ mod tests {
             .lock(s(0), r(1), X)
             .work(15)
             .lock_all([
-                LockReq { site: s(1), resource: r(2), mode: X },
-                LockReq { site: s(2), resource: r(3), mode: X },
+                LockReq {
+                    site: s(1),
+                    resource: r(2),
+                    mode: X,
+                },
+                LockReq {
+                    site: s(2),
+                    resource: r(3),
+                    mode: X,
+                },
             ]);
         let t2 = Transaction::new(t(2), s(1))
             .lock(s(1), r(2), X)
@@ -1121,7 +1269,9 @@ mod tests {
         net.with_node(s(0).node(), |c, ctx| c.start_txn(ctx, t1));
         net.with_node(s(1).node(), |c, ctx| c.start_txn(ctx, t2));
         net.run_until(simnet::time::SimTime::from_ticks(30_000));
-        let total: usize = (0..3).map(|i| net.node(NodeId(i)).declarations().len()).sum();
+        let total: usize = (0..3)
+            .map(|i| net.node(NodeId(i)).declarations().len())
+            .sum();
         assert!(total >= 1, "AND-wait deadlock undetected");
         // And the free branch was indeed granted: T1 holds r3 at S2.
         assert!(net.node(s(2).node()).locks().holds(t(1), r(3)));
@@ -1130,7 +1280,10 @@ mod tests {
     #[test]
     fn timer_encoding_roundtrip() {
         let tag = enc_timer(K_RESTART, TransactionId(0xABCDE), 0x1234_5678);
-        assert_eq!(dec_timer(tag), (K_RESTART, TransactionId(0xABCDE), 0x1234_5678));
+        assert_eq!(
+            dec_timer(tag),
+            (K_RESTART, TransactionId(0xABCDE), 0x1234_5678)
+        );
     }
 
     #[test]
@@ -1145,7 +1298,9 @@ mod tests {
             net.with_node(s(i as usize).node(), |c, ctx| c.start_txn(ctx, txn));
         }
         net.run_until(simnet::time::SimTime::from_ticks(50_000));
-        let total: usize = (0..3).map(|i| net.node(NodeId(i)).declarations().len()).sum();
+        let total: usize = (0..3)
+            .map(|i| net.node(NodeId(i)).declarations().len())
+            .sum();
         assert!(total >= 1, "ring deadlock undetected");
         // Nothing commits: no resolution configured.
         for i in 0..3u32 {

@@ -43,9 +43,7 @@ impl fmt::Display for SiteId {
 }
 
 /// A process `(T_i, S_j)`: transaction `T_i`'s agent at site `S_j`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AgentId {
     /// The transaction the process belongs to.
     pub txn: TransactionId,
@@ -81,9 +79,7 @@ impl fmt::Display for ResourceId {
 
 /// Identity of a DDB probe computation: the `n`-th initiated by controller
 /// `initiator` (§6.5 tags all labels and probes of a computation `(j, n)`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DdbProbeTag {
     /// The initiating controller's site.
     pub initiator: SiteId,
@@ -107,7 +103,11 @@ mod tests {
         assert_eq!(a.to_string(), "(T2,S3)");
         assert_eq!(ResourceId(9).to_string(), "r9");
         assert_eq!(
-            DdbProbeTag { initiator: SiteId(1), n: 4 }.to_string(),
+            DdbProbeTag {
+                initiator: SiteId(1),
+                n: 4
+            }
+            .to_string(),
             "(S1, 4)"
         );
     }

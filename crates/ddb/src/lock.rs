@@ -117,7 +117,12 @@ impl LockTable {
     ///
     /// Panics if `txn` is already queued for this resource — a transaction
     /// blocks on one outstanding request per resource.
-    pub fn request(&mut self, txn: TransactionId, resource: ResourceId, mode: LockMode) -> LockOutcome {
+    pub fn request(
+        &mut self,
+        txn: TransactionId,
+        resource: ResourceId,
+        mode: LockMode,
+    ) -> LockOutcome {
         let e = self.entries.entry(resource).or_default();
         assert!(
             !e.queue.iter().any(|&(t, _)| t == txn),
@@ -169,7 +174,11 @@ impl LockTable {
     /// Releases `txn`'s lock on `resource` (and removes any queued request
     /// it has there). Returns the requests *newly granted* as a result, in
     /// grant order.
-    pub fn release(&mut self, txn: TransactionId, resource: ResourceId) -> Vec<(TransactionId, LockMode)> {
+    pub fn release(
+        &mut self,
+        txn: TransactionId,
+        resource: ResourceId,
+    ) -> Vec<(TransactionId, LockMode)> {
         let Some(e) = self.entries.get_mut(&resource) else {
             return Vec::new();
         };
@@ -184,13 +193,14 @@ impl LockTable {
 
     /// Releases everything `txn` holds or waits for. Returns
     /// `(resource, newly granted)` pairs.
-    pub fn release_all(&mut self, txn: TransactionId) -> Vec<(ResourceId, Vec<(TransactionId, LockMode)>)> {
+    pub fn release_all(
+        &mut self,
+        txn: TransactionId,
+    ) -> Vec<(ResourceId, Vec<(TransactionId, LockMode)>)> {
         let resources: Vec<ResourceId> = self
             .entries
             .iter()
-            .filter(|(_, e)| {
-                e.holders.contains_key(&txn) || e.queue.iter().any(|&(t, _)| t == txn)
-            })
+            .filter(|(_, e)| e.holders.contains_key(&txn) || e.queue.iter().any(|&(t, _)| t == txn))
             .map(|(&r, _)| r)
             .collect();
         resources
@@ -333,11 +343,15 @@ mod tests {
         lt.request(t(1), r(1), X);
         assert_eq!(
             lt.request(t(2), r(1), X),
-            LockOutcome::Queued { waits_for: vec![t(1)] }
+            LockOutcome::Queued {
+                waits_for: vec![t(1)]
+            }
         );
         assert_eq!(
             lt.request(t(3), r(1), S),
-            LockOutcome::Queued { waits_for: vec![t(1), t(2)] }
+            LockOutcome::Queued {
+                waits_for: vec![t(1), t(2)]
+            }
         );
         // Release: t2 granted first (FIFO); t3 conflicts with t2 (X), stays.
         let g = lt.release(t(1), r(1));
@@ -352,11 +366,13 @@ mod tests {
         let mut lt = LockTable::new();
         lt.request(t(1), r(1), S);
         lt.request(t(2), r(1), X); // queued behind holder
-        // A shared request would be compatible with the holder, but must
-        // not overtake the queued writer.
+                                   // A shared request would be compatible with the holder, but must
+                                   // not overtake the queued writer.
         assert_eq!(
             lt.request(t(3), r(1), S),
-            LockOutcome::Queued { waits_for: vec![t(2)] }
+            LockOutcome::Queued {
+                waits_for: vec![t(2)]
+            }
         );
     }
 
@@ -384,7 +400,10 @@ mod tests {
         lt.request(t(1), r(1), S);
         assert_eq!(lt.request(t(1), r(1), X), LockOutcome::Granted);
         // Now exclusive: a shared request queues.
-        assert!(matches!(lt.request(t(2), r(1), S), LockOutcome::Queued { .. }));
+        assert!(matches!(
+            lt.request(t(2), r(1), S),
+            LockOutcome::Queued { .. }
+        ));
     }
 
     #[test]
@@ -395,7 +414,9 @@ mod tests {
         // t1 wants to upgrade: must wait for t2 but jumps any later queue.
         assert_eq!(
             lt.request(t(1), r(1), X),
-            LockOutcome::Queued { waits_for: vec![t(2)] }
+            LockOutcome::Queued {
+                waits_for: vec![t(2)]
+            }
         );
         let g = lt.release(t(2), r(1));
         assert_eq!(g, vec![(t(1), X)]);

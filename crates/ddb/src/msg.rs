@@ -78,12 +78,12 @@ mod tests {
     #[test]
     fn probe_edge_identity_shares_transaction() {
         let t = TransactionId(3);
-        let e = (
-            AgentId::new(t, SiteId(0)),
-            AgentId::new(t, SiteId(1)),
-        );
+        let e = (AgentId::new(t, SiteId(0)), AgentId::new(t, SiteId(1)));
         let m = DdbMsg::Probe {
-            tag: DdbProbeTag { initiator: SiteId(0), n: 1 },
+            tag: DdbProbeTag {
+                initiator: SiteId(0),
+                n: 1,
+            },
             edge: e,
         };
         if let DdbMsg::Probe { edge, .. } = m {

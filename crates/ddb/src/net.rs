@@ -125,7 +125,8 @@ impl DdbNet {
     /// Submits a transaction to its home controller and starts it.
     pub fn submit(&mut self, txn: Transaction) {
         let home = txn.home();
-        self.sim.with_node(home.node(), |c, ctx| c.start_txn(ctx, txn));
+        self.sim
+            .with_node(home.node(), |c, ctx| c.start_txn(ctx, txn));
     }
 
     /// Driver access to one controller.
@@ -146,6 +147,22 @@ impl DdbNet {
     /// Read access to a controller.
     pub fn controller(&self, site: SiteId) -> &Controller {
         self.sim.node(site.node())
+    }
+
+    /// Read access to a controller, or `None` if `site` is out of range.
+    pub fn try_controller(&self, site: SiteId) -> Option<&Controller> {
+        self.sim.try_node(site.node())
+    }
+
+    /// True if the fault plan currently has `site` crashed (install one
+    /// via [`DdbNet::with_builder`]).
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.sim.is_crashed(site.node())
+    }
+
+    /// The event trace (enable tracing via [`DdbNet::with_builder`]).
+    pub fn trace(&self) -> &simnet::trace::Trace {
+        self.sim.trace()
     }
 
     /// Current virtual time.
@@ -327,8 +344,8 @@ impl DdbNet {
 mod tests {
     use super::*;
     use crate::config::DdbInitiation;
-    use crate::ids::TransactionId;
     use crate::ids::ResourceId;
+    use crate::ids::TransactionId;
     use crate::lock::LockMode::Exclusive as X;
     use crate::txn::TxnStatus;
 
@@ -477,5 +494,49 @@ mod tests {
         assert!(db.metrics().get(crate::controller::counters::ABORTED) >= 1);
         let (g, _) = db.agent_graph();
         assert!(g.is_empty(), "no residual waits after all commits");
+    }
+
+    #[test]
+    fn ring_detected_over_faulty_network_with_reliable_transport() {
+        use simnet::faults::FaultPlan;
+        use simnet::reliable::ReliableConfig;
+        for seed in [3u64, 7, 11] {
+            let plan = FaultPlan::new().loss(0.10).duplicate(0.05).reorder(0.10, 30);
+            let builder = SimBuilder::new()
+                .seed(seed)
+                .faults(plan)
+                .reliable(ReliableConfig::default());
+            let mut db = DdbNet::with_builder(3, DdbConfig::detect_only(100), builder);
+            ring(&mut db, 3);
+            db.run_until(SimTime::from_ticks(120_000));
+            assert!(!db.declarations().is_empty(), "seed {seed}");
+            db.verify_soundness().unwrap();
+            db.verify_completeness().unwrap();
+        }
+    }
+
+    #[test]
+    fn site_crash_and_restart_recovers_ddb_detection() {
+        use simnet::faults::FaultPlan;
+        use simnet::reliable::ReliableConfig;
+        // Site 1 crashes mid-workload, losing its volatile computation
+        // state, and restarts; the reliable transport redelivers what was
+        // in flight and the restarted controller re-arms its detector.
+        let plan = FaultPlan::new().crash(
+            NodeId(1),
+            SimTime::from_ticks(60),
+            Some(SimTime::from_ticks(700)),
+        );
+        let builder = SimBuilder::new()
+            .seed(13)
+            .faults(plan)
+            .reliable(ReliableConfig::default());
+        let mut db = DdbNet::with_builder(3, DdbConfig::detect_only(100), builder);
+        ring(&mut db, 3);
+        db.run_until(SimTime::from_ticks(120_000));
+        assert!(!db.is_crashed(SiteId(1)));
+        assert!(!db.declarations().is_empty());
+        db.verify_soundness().unwrap();
+        db.verify_completeness().unwrap();
     }
 }

@@ -132,7 +132,10 @@ mod tests {
         };
         assert!(d.to_string().contains("local cycle"));
         let d2 = DdbDeadlock {
-            tag: Some(DdbProbeTag { initiator: SiteId(1), n: 3 }),
+            tag: Some(DdbProbeTag {
+                initiator: SiteId(1),
+                n: 3,
+            }),
             ..d
         };
         assert!(d2.to_string().contains("computation (S1, 3)"));

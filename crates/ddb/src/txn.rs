@@ -84,7 +84,11 @@ impl Transaction {
 
     /// Appends a lock-acquisition step.
     pub fn lock(mut self, site: SiteId, resource: ResourceId, mode: LockMode) -> Self {
-        self.steps.push(TxnStep::Lock { site, resource, mode });
+        self.steps.push(TxnStep::Lock {
+            site,
+            resource,
+            mode,
+        });
         self
     }
 
@@ -102,7 +106,11 @@ impl Transaction {
             reqs.iter().map(|r| (r.site, r.resource)).collect();
         targets.sort_unstable();
         targets.dedup();
-        assert_eq!(targets.len(), reqs.len(), "duplicate lock targets in lock_all");
+        assert_eq!(
+            targets.len(),
+            reqs.len(),
+            "duplicate lock targets in lock_all"
+        );
         self.steps.push(TxnStep::LockAll(reqs));
         self
     }
@@ -137,9 +145,11 @@ impl fmt::Display for Transaction {
                 f.write_str(" ")?;
             }
             match s {
-                TxnStep::Lock { site, resource, mode } => {
-                    write!(f, "lock({site},{resource},{mode})")?
-                }
+                TxnStep::Lock {
+                    site,
+                    resource,
+                    mode,
+                } => write!(f, "lock({site},{resource},{mode})")?,
                 TxnStep::LockAll(reqs) => {
                     f.write_str("lock-all(")?;
                     for (k, r) in reqs.iter().enumerate() {

@@ -224,11 +224,15 @@ mod tests {
             intra: [(t(3), t(1))].into_iter().collect(),
             incoming_inter: BTreeMap::new(),
         };
-        let incoming: AgentEdgeSet =
-            [(a(1, 1), a(1, 0)), (a(2, 0), a(1, 0))].into_iter().collect();
+        let incoming: AgentEdgeSet = [(a(1, 1), a(1, 0)), (a(2, 0), a(1, 0))]
+            .into_iter()
+            .collect();
         let mut st = DdbWfgdState::new();
         let out = st.receive(s(1), t(1), &incoming, &topo);
-        assert!(out.is_empty(), "no incoming inter edges at the home side here");
+        assert!(
+            out.is_empty(),
+            "no incoming inter edges at the home side here"
+        );
         // T1's own S has the received edges; T3 has them plus its own edge.
         assert_eq!(st.known_edges(t(1)), incoming);
         let s3 = st.known_edges(t(3));

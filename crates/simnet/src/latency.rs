@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn distance_scales_with_hops() {
         let mut r = rng();
-        let m = LatencyModel::Distance { base: 2, per_hop: 3 };
+        let m = LatencyModel::Distance {
+            base: 2,
+            per_hop: 3,
+        };
         assert_eq!(m.sample(&mut r, NodeId(1), NodeId(4)), 2 + 3 * 3);
         assert_eq!(m.sample(&mut r, NodeId(4), NodeId(1)), 2 + 3 * 3);
         assert_eq!(m.sample(&mut r, NodeId(2), NodeId(2)), 2);

@@ -1,8 +1,9 @@
 //! # simnet — simulation substrate for the CMH reproduction
 //!
 //! A deterministic discrete-event message-passing simulator plus a live
-//! multi-threaded runtime. Both substrates provide exactly the environment
-//! assumed by Chandy & Misra's PODC 1982 deadlock-detection paper:
+//! multi-threaded runtime. By default both substrates provide exactly the
+//! environment assumed by Chandy & Misra's PODC 1982 deadlock-detection
+//! paper:
 //!
 //! * messages are received **correctly** (no loss, no corruption),
 //! * messages are received **in the order sent** on each channel, and
@@ -13,12 +14,19 @@
 //! seed ⇒ same run), virtual time for latency measurements, per-kind
 //! message metrics, and full event traces for the correctness checkers.
 //!
+//! Those assumptions can also be deliberately *broken*: a seeded
+//! [`faults::FaultPlan`] injects message loss, duplication, reordering,
+//! node crash/restart and network partitions, and the [`reliable`] layer
+//! (sequence numbers, cumulative acks, retransmission with exponential
+//! backoff) restores exactly-once ordered delivery on top of the faulty
+//! wire. Experiment E12 measures both halves.
+//!
 //! ## Quick start
 //!
 //! ```
 //! use simnet::prelude::*;
 //!
-//! #[derive(Debug)]
+//! #[derive(Debug, Clone)]
 //! struct Hello;
 //!
 //! struct Node { greeted: bool }
@@ -46,8 +54,10 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
+pub mod reliable;
 pub mod rng;
 pub mod runtime;
 pub mod sim;
@@ -56,8 +66,10 @@ pub mod trace;
 
 /// The commonly used names, for glob import.
 pub mod prelude {
+    pub use crate::faults::{ChannelFaults, DropReason, FaultPlan};
     pub use crate::latency::LatencyModel;
     pub use crate::metrics::Metrics;
+    pub use crate::reliable::ReliableConfig;
     pub use crate::rng::DetRng;
     pub use crate::sim::{Context, NodeId, Process, RunOutcome, SimBuilder, Simulation, TimerId};
     pub use crate::time::SimTime;

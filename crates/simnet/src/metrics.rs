@@ -39,6 +39,23 @@ pub mod builtin {
     pub const TIMERS_FIRED: &str = "sim.timers_fired";
     /// Total events processed by the scheduler.
     pub const EVENTS: &str = "sim.events";
+    /// Messages and wire packets dropped (fault injection, crash windows,
+    /// partitions, transport abandonment).
+    pub const MESSAGES_DROPPED: &str = "sim.messages_dropped";
+    /// Extra copies injected by duplication faults.
+    pub const MESSAGES_DUPLICATED: &str = "sim.messages_duplicated";
+    /// Node crashes executed by the fault plan.
+    pub const CRASHES: &str = "sim.crashes";
+    /// Node restarts executed by the fault plan.
+    pub const RESTARTS: &str = "sim.restarts";
+    /// Wire packets retransmitted by the reliable layer.
+    pub const RETRANSMISSIONS: &str = "reliable.retransmissions";
+    /// Cumulative acknowledgements sent by the reliable layer.
+    pub const ACKS_SENT: &str = "reliable.acks_sent";
+    /// Duplicate wire packets suppressed before application delivery.
+    pub const DUPLICATES_SUPPRESSED: &str = "reliable.duplicates_suppressed";
+    /// Packets abandoned after the maximum transmission attempts.
+    pub const DELIVERIES_ABANDONED: &str = "reliable.deliveries_abandoned";
 }
 
 impl Metrics {

@@ -55,10 +55,7 @@ impl DetRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -77,7 +74,8 @@ impl DetRng {
     pub fn fork(&self, stream: u64) -> Self {
         // Mix the current state with the stream id through SplitMix64 so
         // that forks of forks stay decorrelated.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),

@@ -84,7 +84,9 @@ impl<M: Send> LiveContext<M> {
 
     /// Appends a line to the shared, timestamp-ordered runtime log.
     pub fn note(&mut self, text: impl Into<String>) {
-        self.log.lock().push(format!("{}: {}", self.id, text.into()));
+        self.log
+            .lock()
+            .push(format!("{}: {}", self.id, text.into()));
     }
 }
 

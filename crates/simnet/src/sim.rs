@@ -13,8 +13,15 @@
 //!   completed before the process can send or receive other messages" holds
 //!   by construction.
 //!
-//! Determinism: with the same seed, topology and workload, a run produces an
-//! identical event sequence, trace and metrics.
+//! Those guarantees hold on the *fault-free* network. A
+//! [`crate::faults::FaultPlan`] (installed via [`SimBuilder::faults`])
+//! deliberately breaks them — loss, duplication, reordering, crashes and
+//! partitions — and the reliable-delivery layer
+//! ([`SimBuilder::reliable`], see [`crate::reliable`]) rebuilds them on
+//! top of the faulty wire.
+//!
+//! Determinism: with the same seed, topology, workload and fault plan, a
+//! run produces an identical event sequence, trace and metrics.
 //!
 //! # Examples
 //!
@@ -53,11 +60,18 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{DropReason, FaultPlan, FaultState, SendFate};
 use crate::latency::LatencyModel;
 use crate::metrics::{builtin, Metrics};
+use crate::reliable::{ReliableConfig, ReliableState, WireAccept};
 use crate::rng::DetRng;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceEvent};
+
+/// RNG substream id for fault-injection decisions (see
+/// [`crate::rng::DetRng::fork`]): keeps fault draws off the main latency
+/// stream so an empty plan leaves runs bit-identical.
+const FAULT_RNG_STREAM: u64 = 0xFA17;
 
 /// Identifies a simulated process (a vertex of the wait-for graph).
 #[derive(
@@ -100,12 +114,56 @@ pub trait Process<M> {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId, tag: u64) {
         let _ = (ctx, timer, tag);
     }
+
+    /// Called when this node restarts after a fault-plan crash.
+    ///
+    /// The simulator keeps every ordinary field of the process across the
+    /// crash; this hook is where the implementation models its volatile /
+    /// stable-storage split by clearing whatever would not have survived,
+    /// and re-arming whatever a recovering node would re-arm (timers set
+    /// before the crash that came due during the outage are lost).
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
 }
 
 enum EventKind<M> {
     Start(NodeId),
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, tag: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
+    /// Fault plan: `node` goes down.
+    Crash(NodeId),
+    /// Fault plan: `node` comes back up.
+    Restart(NodeId),
+    /// Reliable layer: data packet `seq` of channel `(from, to)` arrives.
+    Wire {
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+    },
+    /// Reliable layer: cumulative ack for channel `(from, to)` arrives
+    /// back at `from` (everything below `next` is acknowledged).
+    WireAck {
+        from: NodeId,
+        to: NodeId,
+        next: u64,
+    },
+    /// Reliable layer: retransmission timer for `(from, to, seq)` after
+    /// `attempt` transmissions.
+    Retransmit {
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        attempt: u32,
+    },
 }
 
 struct Event<M> {
@@ -151,7 +209,7 @@ impl<M> fmt::Debug for Context<'_, M> {
     }
 }
 
-impl<'a, M: fmt::Debug> Context<'a, M> {
+impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
     /// The id of the process handling the current event.
     pub fn id(&self) -> NodeId {
         self.node
@@ -230,9 +288,12 @@ struct Core<M> {
     halted: bool,
     node_count: usize,
     fifo: bool,
+    faults: Option<FaultState>,
+    crashed: HashSet<NodeId>,
+    rel: Option<ReliableState<M>>,
 }
 
-impl<M: fmt::Debug> Core<M> {
+impl<M: fmt::Debug + Clone> Core<M> {
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
@@ -240,8 +301,76 @@ impl<M: fmt::Debug> Core<M> {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if self.crashed.contains(&from) {
+            // A crashed node cannot reach the wire (this arises only from
+            // driver injection via `with_node`; a crashed node's own
+            // callbacks are suppressed).
+            self.metrics.inc(builtin::MESSAGES_DROPPED);
+            if self.trace.is_enabled() {
+                let summary = summarize(&msg);
+                let at = self.now;
+                self.trace.push(TraceEvent::Drop {
+                    at,
+                    from,
+                    to,
+                    summary,
+                    reason: DropReason::CrashedSender,
+                });
+            }
+            return;
+        }
+        if self.rel.is_some() {
+            self.send_reliable(from, to, msg);
+        } else {
+            self.send_raw(from, to, msg);
+        }
+    }
+
+    /// The unprotected send path: one latency sample, straight onto the
+    /// (possibly faulty) wire. Fault-free, this is byte-identical to the
+    /// original simulator.
+    fn send_raw(&mut self, from: NodeId, to: NodeId, msg: M) {
         let delay = self.latency.sample(&mut self.rng, from, to);
-        let deliver_at = if self.fifo {
+        let fate = match &mut self.faults {
+            Some(f) => f.classify(self.now, from, to),
+            None => SendFate::clean(),
+        };
+        self.metrics.inc(builtin::MESSAGES_SENT);
+        let (duplicate, extra_delay) = match fate {
+            SendFate::Lost(reason) => {
+                // Record the send and its drop as a pair, so trace
+                // consumers can account for every message.
+                self.metrics.inc(builtin::MESSAGES_DROPPED);
+                if self.trace.is_enabled() {
+                    let summary = summarize(&msg);
+                    let at = self.now;
+                    self.trace.push(TraceEvent::Send {
+                        at,
+                        from,
+                        to,
+                        deliver_at: at + delay,
+                        summary: summary.clone(),
+                    });
+                    self.trace.push(TraceEvent::Drop {
+                        at,
+                        from,
+                        to,
+                        summary,
+                        reason,
+                    });
+                }
+                return;
+            }
+            SendFate::Deliver {
+                duplicate,
+                extra_delay,
+            } => (duplicate, extra_delay),
+        };
+        let deliver_at = if extra_delay > 0 {
+            // Reorder fault: bypass the channel clock (so later messages
+            // can overtake this one) and do not drag the clock forward.
+            self.now + delay + extra_delay
+        } else if self.fifo {
             // FIFO discipline: never schedule a delivery earlier than the
             // last one on the same channel. Equal times are untied by `seq`.
             let clock = self
@@ -256,7 +385,6 @@ impl<M: fmt::Debug> Core<M> {
             // the paper's ordered-delivery assumption (see SimBuilder::fifo).
             self.now + delay
         };
-        self.metrics.inc(builtin::MESSAGES_SENT);
         if self.trace.is_enabled() {
             let summary = summarize(&msg);
             self.trace.push(TraceEvent::Send {
@@ -267,7 +395,272 @@ impl<M: fmt::Debug> Core<M> {
                 summary,
             });
         }
+        if duplicate {
+            let extra_copy_at = self.now + self.latency.sample(&mut self.rng, from, to);
+            self.metrics.inc(builtin::MESSAGES_DUPLICATED);
+            if self.trace.is_enabled() {
+                let summary = summarize(&msg);
+                let at = self.now;
+                self.trace.push(TraceEvent::Duplicate {
+                    at,
+                    from,
+                    to,
+                    deliver_at: extra_copy_at,
+                    summary,
+                });
+            }
+            self.push(
+                extra_copy_at,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
         self.push(deliver_at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// The protected send path: assign a channel sequence number, buffer
+    /// the payload for retransmission, put the first copy on the wire and
+    /// arm the retransmission timer.
+    fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.metrics.inc(builtin::MESSAGES_SENT);
+        let summary = self.trace.is_enabled().then(|| summarize(&msg));
+        let (seq, rto) = {
+            let rel = self.rel.as_mut().expect("reliable state present");
+            let chan = rel.senders.entry((from, to)).or_default();
+            let seq = chan.next_seq;
+            chan.next_seq += 1;
+            chan.buf.insert(seq, msg);
+            (seq, rel.cfg.backoff(1))
+        };
+        let delay = self.latency.sample(&mut self.rng, from, to);
+        if let Some(summary) = summary {
+            self.trace.push(TraceEvent::Send {
+                at: self.now,
+                from,
+                to,
+                deliver_at: self.now + delay,
+                summary,
+            });
+        }
+        self.transmit_packet(from, to, seq, delay);
+        self.push(
+            self.now + rto,
+            EventKind::Retransmit {
+                from,
+                to,
+                seq,
+                attempt: 1,
+            },
+        );
+    }
+
+    /// Puts one copy of reliable data packet `(from, to, seq)` on the
+    /// faulty wire. The reliable layer never consults the FIFO channel
+    /// clock: ordering is restored by sequence numbers at the receiver.
+    fn transmit_packet(&mut self, from: NodeId, to: NodeId, seq: u64, delay: u64) {
+        let fate = match &mut self.faults {
+            Some(f) => f.classify(self.now, from, to),
+            None => SendFate::clean(),
+        };
+        match fate {
+            SendFate::Lost(reason) => {
+                self.metrics.inc(builtin::MESSAGES_DROPPED);
+                if self.trace.is_enabled() {
+                    let at = self.now;
+                    self.trace.push(TraceEvent::Drop {
+                        at,
+                        from,
+                        to,
+                        summary: format!("pkt seq={seq}"),
+                        reason,
+                    });
+                }
+            }
+            SendFate::Deliver {
+                duplicate,
+                extra_delay,
+            } => {
+                self.push(
+                    self.now + delay + extra_delay,
+                    EventKind::Wire { from, to, seq },
+                );
+                if duplicate {
+                    let extra_copy_at = self.now + self.latency.sample(&mut self.rng, from, to);
+                    self.metrics.inc(builtin::MESSAGES_DUPLICATED);
+                    if self.trace.is_enabled() {
+                        let at = self.now;
+                        self.trace.push(TraceEvent::Duplicate {
+                            at,
+                            from,
+                            to,
+                            deliver_at: extra_copy_at,
+                            summary: format!("pkt seq={seq}"),
+                        });
+                    }
+                    self.push(extra_copy_at, EventKind::Wire { from, to, seq });
+                }
+            }
+        }
+    }
+
+    /// Handles arrival of reliable data packet `seq` at a live `to`:
+    /// resequence/deduplicate, ack cumulatively, and return the payloads
+    /// now deliverable to the application, in order.
+    fn wire_arrival(&mut self, from: NodeId, to: NodeId, seq: u64) -> Vec<M> {
+        let (accept, next) = {
+            let rel = self.rel.as_mut().expect("reliable state present");
+            let chan = rel.receivers.entry((from, to)).or_default();
+            let accept = chan.accept(seq);
+            (accept, chan.expected)
+        };
+        let payloads = match accept {
+            WireAccept::Duplicate => {
+                self.metrics.inc(builtin::DUPLICATES_SUPPRESSED);
+                Vec::new()
+            }
+            WireAccept::Buffered => Vec::new(),
+            WireAccept::Deliver(seqs) => {
+                let rel = self.rel.as_ref().expect("reliable state present");
+                let chan = rel.senders.get(&(from, to));
+                // A payload can only be missing if the sender abandoned it
+                // (max_attempts) while a stale copy was still in flight —
+                // that message is lost, which abandonment already implies.
+                seqs.iter()
+                    .filter_map(|s| chan.and_then(|c| c.buf.get(s)).cloned())
+                    .collect()
+            }
+        };
+        // Every arrival — including duplicates — refreshes the cumulative
+        // ack, so lost acks are repaired by retransmissions.
+        self.send_ack(from, to, next);
+        payloads
+    }
+
+    /// Sends a cumulative ack for data channel `(from, to)` back across
+    /// the faulty wire (direction `to` → `from`).
+    fn send_ack(&mut self, from: NodeId, to: NodeId, next: u64) {
+        self.metrics.inc(builtin::ACKS_SENT);
+        let delay = self.latency.sample(&mut self.rng, to, from);
+        let fate = match &mut self.faults {
+            Some(f) => f.classify(self.now, to, from),
+            None => SendFate::clean(),
+        };
+        match fate {
+            SendFate::Lost(reason) => {
+                self.metrics.inc(builtin::MESSAGES_DROPPED);
+                if self.trace.is_enabled() {
+                    let at = self.now;
+                    self.trace.push(TraceEvent::Drop {
+                        at,
+                        from: to,
+                        to: from,
+                        summary: format!("ack next={next}"),
+                        reason,
+                    });
+                }
+            }
+            SendFate::Deliver {
+                duplicate,
+                extra_delay,
+            } => {
+                if self.trace.is_enabled() {
+                    let at = self.now;
+                    self.trace.push(TraceEvent::Ack {
+                        at,
+                        from: to,
+                        to: from,
+                        next,
+                    });
+                }
+                self.push(
+                    self.now + delay + extra_delay,
+                    EventKind::WireAck { from, to, next },
+                );
+                if duplicate {
+                    let extra_copy_at = self.now + self.latency.sample(&mut self.rng, to, from);
+                    self.metrics.inc(builtin::MESSAGES_DUPLICATED);
+                    self.push(extra_copy_at, EventKind::WireAck { from, to, next });
+                }
+            }
+        }
+    }
+
+    /// Handles a cumulative ack arriving back at the sender: everything
+    /// below `next` is delivered, so its retransmission buffers go.
+    fn ack_arrival(&mut self, from: NodeId, to: NodeId, next: u64) {
+        if let Some(rel) = self.rel.as_mut() {
+            if let Some(chan) = rel.senders.get_mut(&(from, to)) {
+                chan.buf = chan.buf.split_off(&next);
+            }
+        }
+    }
+
+    /// Handles a due retransmission timer for `(from, to, seq)`.
+    fn retransmit_due(&mut self, from: NodeId, to: NodeId, seq: u64, attempt: u32) {
+        enum Action {
+            Done,
+            GiveUp,
+            Retry(u64),
+        }
+        let action = {
+            let Some(rel) = self.rel.as_mut() else { return };
+            let cfg = rel.cfg;
+            match rel.senders.get_mut(&(from, to)) {
+                Some(chan) if chan.buf.contains_key(&seq) => {
+                    if attempt >= cfg.max_attempts {
+                        chan.buf.remove(&seq);
+                        Action::GiveUp
+                    } else {
+                        Action::Retry(cfg.backoff(attempt + 1))
+                    }
+                }
+                _ => Action::Done, // acknowledged meanwhile
+            }
+        };
+        match action {
+            Action::Done => {}
+            Action::GiveUp => {
+                self.metrics.inc(builtin::DELIVERIES_ABANDONED);
+                self.metrics.inc(builtin::MESSAGES_DROPPED);
+                if self.trace.is_enabled() {
+                    let at = self.now;
+                    self.trace.push(TraceEvent::Drop {
+                        at,
+                        from,
+                        to,
+                        summary: format!("pkt seq={seq}"),
+                        reason: DropReason::Abandoned,
+                    });
+                }
+            }
+            Action::Retry(backoff) => {
+                self.metrics.inc(builtin::RETRANSMISSIONS);
+                if self.trace.is_enabled() {
+                    let at = self.now;
+                    self.trace.push(TraceEvent::Retransmit {
+                        at,
+                        from,
+                        to,
+                        seq,
+                        attempt,
+                    });
+                }
+                let delay = self.latency.sample(&mut self.rng, from, to);
+                self.transmit_packet(from, to, seq, delay);
+                self.push(
+                    self.now + backoff,
+                    EventKind::Retransmit {
+                        from,
+                        to,
+                        seq,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+        }
     }
 
     fn set_timer(&mut self, node: NodeId, delay: u64, tag: u64) -> TimerId {
@@ -306,17 +699,21 @@ pub struct SimBuilder {
     seed: u64,
     trace: bool,
     fifo: bool,
+    faults: FaultPlan,
+    reliable: Option<ReliableConfig>,
 }
 
 impl SimBuilder {
     /// Starts a builder with default latency (uniform 1..=10), seed 0,
-    /// tracing off and FIFO channels on.
+    /// tracing off, FIFO channels on, no faults and no reliable layer.
     pub fn new() -> Self {
         SimBuilder {
             latency: LatencyModel::default(),
             seed: 0,
             trace: false,
             fifo: true,
+            faults: FaultPlan::default(),
+            reliable: None,
         }
     }
 
@@ -350,9 +747,31 @@ impl SimBuilder {
         self
     }
 
+    /// Installs a fault plan (message loss, duplication, reordering,
+    /// crashes, partitions). The default plan injects nothing, and a no-op
+    /// plan leaves runs bit-identical to a fault-free build: fault
+    /// decisions draw from a forked RNG substream, never the latency
+    /// stream.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables the reliable-delivery layer (see [`crate::reliable`]):
+    /// every application message travels as a sequenced, acknowledged,
+    /// retransmitted wire packet, restoring exactly-once FIFO delivery
+    /// over a faulty network.
+    pub fn reliable(mut self, cfg: ReliableConfig) -> Self {
+        self.reliable = Some(cfg);
+        self
+    }
+
     /// Builds an empty simulation; add processes with
     /// [`Simulation::add_node`].
-    pub fn build<M: fmt::Debug, P: Process<M>>(self) -> Simulation<M, P> {
+    pub fn build<M: fmt::Debug + Clone, P: Process<M>>(self) -> Simulation<M, P> {
+        let rng = DetRng::seed_from_u64(self.seed);
+        let faults = (!self.faults.is_noop())
+            .then(|| FaultState::new(self.faults.clone(), rng.fork(FAULT_RNG_STREAM)));
         Simulation {
             core: Core {
                 now: SimTime::ZERO,
@@ -360,7 +779,7 @@ impl SimBuilder {
                 seq: 0,
                 channel_clock: HashMap::new(),
                 latency: self.latency,
-                rng: DetRng::seed_from_u64(self.seed),
+                rng,
                 metrics: Metrics::new(),
                 trace: Trace::new(self.trace),
                 cancelled: HashSet::new(),
@@ -368,6 +787,9 @@ impl SimBuilder {
                 halted: false,
                 node_count: 0,
                 fifo: self.fifo,
+                faults,
+                crashed: HashSet::new(),
+                rel: self.reliable.map(ReliableState::new),
             },
             procs: Vec::new(),
             started: false,
@@ -399,7 +821,7 @@ impl<M, P> fmt::Debug for Simulation<M, P> {
     }
 }
 
-impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
+impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
     /// Adds a process and returns its id (ids are dense, starting at 0).
     pub fn add_node(&mut self, process: P) -> NodeId {
         let id = NodeId(self.procs.len());
@@ -437,6 +859,18 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
         &self.procs[id.0]
     }
 
+    /// Immutable access to a process's state, or `None` if `id` is out of
+    /// range. The non-panicking sibling of [`Simulation::node`], for
+    /// drivers that probe nodes speculatively.
+    pub fn try_node(&self, id: NodeId) -> Option<&P> {
+        self.procs.get(id.0)
+    }
+
+    /// True if the fault plan currently has `id` crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.core.crashed.contains(&id)
+    }
+
     /// Runs `f` against a process with a live [`Context`], at the current
     /// virtual time. This is how drivers inject work (e.g. "start a
     /// transaction now") without a fake network message.
@@ -444,13 +878,30 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn with_node<R>(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R) -> R {
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
+    ) -> R {
         self.ensure_started();
         let mut ctx = Context {
             node: id,
             core: &mut self.core,
         };
         f(&mut self.procs[id.0], &mut ctx)
+    }
+
+    /// Like [`Simulation::with_node`] but returns `None` instead of
+    /// panicking when `id` is out of range.
+    pub fn try_with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
+    ) -> Option<R> {
+        if id.0 >= self.procs.len() {
+            return None;
+        }
+        Some(self.with_node(id, f))
     }
 
     fn ensure_started(&mut self) {
@@ -460,6 +911,17 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
         self.started = true;
         for i in 0..self.procs.len() {
             self.core.push(SimTime::ZERO, EventKind::Start(NodeId(i)));
+        }
+        // Schedule the fault plan's crash/restart windows up front; they
+        // are plain events, ordered with everything else.
+        if let Some(f) = &self.core.faults {
+            let crashes = f.plan().crashes.clone();
+            for c in crashes {
+                self.core.push(c.at, EventKind::Crash(c.node));
+                if let Some(back) = c.restart_at {
+                    self.core.push(back.max(c.at), EventKind::Restart(c.node));
+                }
+            }
         }
     }
 
@@ -481,13 +943,34 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
                 self.procs[node.0].on_start(&mut ctx);
             }
             EventKind::Deliver { from, to, msg } => {
+                if self.core.crashed.contains(&to) {
+                    // Messages arriving during an outage are lost; the
+                    // reliable layer (if any) would have retransmitted,
+                    // but raw deliveries are simply gone.
+                    self.core.metrics.inc(builtin::MESSAGES_DROPPED);
+                    if self.core.trace.is_enabled() {
+                        let summary = summarize(&msg);
+                        let at = self.core.now;
+                        self.core.trace.push(TraceEvent::Drop {
+                            at,
+                            from,
+                            to,
+                            summary,
+                            reason: DropReason::CrashedRecipient,
+                        });
+                    }
+                    return true;
+                }
                 self.core.metrics.inc(builtin::MESSAGES_DELIVERED);
                 if self.core.trace.is_enabled() {
                     let summary = summarize(&msg);
                     let at = self.core.now;
-                    self.core
-                        .trace
-                        .push(TraceEvent::Deliver { at, from, to, summary });
+                    self.core.trace.push(TraceEvent::Deliver {
+                        at,
+                        from,
+                        to,
+                        summary,
+                    });
                 }
                 let mut ctx = Context {
                     node: to,
@@ -499,6 +982,11 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
                 if self.core.cancelled.remove(&id) {
                     return true; // cancelled: consumed silently
                 }
+                if self.core.crashed.contains(&node) {
+                    // A crashed node's timers are lost, not deferred:
+                    // `on_restart` re-arms whatever recovery needs.
+                    return true;
+                }
                 self.core.metrics.inc(builtin::TIMERS_FIRED);
                 let at = self.core.now;
                 self.core.trace.push(TraceEvent::Timer { at, node, tag });
@@ -507,6 +995,75 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
                     core: &mut self.core,
                 };
                 self.procs[node.0].on_timer(&mut ctx, id, tag);
+            }
+            EventKind::Crash(node) => {
+                if self.core.crashed.insert(node) {
+                    self.core.metrics.inc(builtin::CRASHES);
+                    let at = self.core.now;
+                    self.core.trace.push(TraceEvent::Crash { at, node });
+                }
+            }
+            EventKind::Restart(node) => {
+                if self.core.crashed.remove(&node) {
+                    self.core.metrics.inc(builtin::RESTARTS);
+                    let at = self.core.now;
+                    self.core.trace.push(TraceEvent::Restart { at, node });
+                    let mut ctx = Context {
+                        node,
+                        core: &mut self.core,
+                    };
+                    self.procs[node.0].on_restart(&mut ctx);
+                }
+            }
+            EventKind::Wire { from, to, seq } => {
+                if self.core.crashed.contains(&to) {
+                    // Lost at a down receiver — but the sender's
+                    // retransmission timer is still armed, so the packet
+                    // will be offered again after the restart.
+                    self.core.metrics.inc(builtin::MESSAGES_DROPPED);
+                    if self.core.trace.is_enabled() {
+                        let at = self.core.now;
+                        self.core.trace.push(TraceEvent::Drop {
+                            at,
+                            from,
+                            to,
+                            summary: format!("pkt seq={seq}"),
+                            reason: DropReason::CrashedRecipient,
+                        });
+                    }
+                    return true;
+                }
+                for msg in self.core.wire_arrival(from, to, seq) {
+                    self.core.metrics.inc(builtin::MESSAGES_DELIVERED);
+                    if self.core.trace.is_enabled() {
+                        let summary = summarize(&msg);
+                        let at = self.core.now;
+                        self.core.trace.push(TraceEvent::Deliver {
+                            at,
+                            from,
+                            to,
+                            summary,
+                        });
+                    }
+                    let mut ctx = Context {
+                        node: to,
+                        core: &mut self.core,
+                    };
+                    self.procs[to.0].on_message(&mut ctx, from, msg);
+                }
+            }
+            EventKind::WireAck { from, to, next } => {
+                // Transport state lives in stable storage: acks are
+                // processed even while `from` is crashed.
+                self.core.ack_arrival(from, to, next);
+            }
+            EventKind::Retransmit {
+                from,
+                to,
+                seq,
+                attempt,
+            } => {
+                self.core.retransmit_due(from, to, seq, attempt);
             }
         }
         true
@@ -578,7 +1135,7 @@ impl<M: fmt::Debug, P: Process<M>> Simulation<M, P> {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     enum Msg {
         Ping(u32),
     }
@@ -697,7 +1254,11 @@ mod tests {
         sim.run_to_quiescence(10_000);
         let seqs: Vec<u32> = sim.node(NodeId(1)).order.iter().map(|&(_, n)| n).collect();
         assert_eq!(seqs.len(), 5);
-        assert_ne!(seqs, vec![0, 1, 2, 3, 4], "expected reordering with this seed");
+        assert_ne!(
+            seqs,
+            vec![0, 1, 2, 3, 4],
+            "expected reordering with this seed"
+        );
     }
 
     #[test]
@@ -819,5 +1380,293 @@ mod tests {
         let out = sim.run_to_quiescence(50);
         assert_eq!(out.events, 50);
         assert!(!out.quiescent && !out.halted);
+    }
+
+    /// One-way sender/counter pair used by the fault tests: node 0 sends
+    /// `count` pings to node 1, which records them (no replies, so message
+    /// totals are exact).
+    struct OneWay {
+        peer: NodeId,
+        count: u32,
+        received: Vec<u32>,
+    }
+    impl Process<Msg> for OneWay {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.id() == NodeId(0) {
+                for n in 0..self.count {
+                    ctx.send(self.peer, Msg::Ping(n));
+                }
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            let Msg::Ping(n) = msg;
+            self.received.push(n);
+        }
+    }
+
+    fn one_way(builder: SimBuilder, count: u32) -> Simulation<Msg, OneWay> {
+        let mut sim = builder.build();
+        sim.add_node(OneWay {
+            peer: NodeId(1),
+            count,
+            received: vec![],
+        });
+        sim.add_node(OneWay {
+            peer: NodeId(0),
+            count,
+            received: vec![],
+        });
+        sim
+    }
+
+    #[test]
+    fn loss_drops_messages_and_counts_them() {
+        let plan = FaultPlan::default().loss(0.5);
+        let mut sim = one_way(SimBuilder::new().seed(11).trace(true).faults(plan), 200);
+        let out = sim.run_to_quiescence(10_000);
+        assert!(out.quiescent);
+        let dropped = sim.metrics().get(builtin::MESSAGES_DROPPED);
+        let delivered = sim.metrics().get(builtin::MESSAGES_DELIVERED);
+        assert!(dropped > 0, "expected some losses at p=0.5");
+        assert_eq!(dropped + delivered, 200);
+        assert_eq!(delivered as usize, sim.node(NodeId(1)).received.len());
+        let drops_in_trace = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Drop { .. }))
+            .count();
+        assert_eq!(drops_in_trace as u64, dropped);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let plan = FaultPlan::default().duplicate(1.0);
+        let mut sim = one_way(SimBuilder::new().seed(3).faults(plan), 50);
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.node(NodeId(1)).received.len(), 100);
+        assert_eq!(sim.metrics().get(builtin::MESSAGES_DUPLICATED), 50);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_none() {
+        let mut a = pair(21);
+        let mut b = {
+            let mut sim = SimBuilder::new()
+                .seed(21)
+                .trace(true)
+                .faults(FaultPlan::default())
+                .build();
+            sim.add_node(Echo {
+                peer: NodeId(1),
+                sent: 0,
+                received: vec![],
+                limit: 10,
+                start: true,
+            });
+            sim.add_node(Echo {
+                peer: NodeId(0),
+                sent: 0,
+                received: vec![],
+                limit: 10,
+                start: false,
+            });
+            sim
+        };
+        a.run_to_quiescence(1_000);
+        b.run_to_quiescence(1_000);
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn same_seed_same_fault_plan_same_trace() {
+        let plan = FaultPlan::default()
+            .loss(0.2)
+            .duplicate(0.1)
+            .reorder(0.2, 40);
+        let run = |seed| {
+            let mut sim = one_way(
+                SimBuilder::new()
+                    .seed(seed)
+                    .trace(true)
+                    .faults(plan.clone()),
+                100,
+            );
+            sim.run_to_quiescence(100_000);
+            sim
+        };
+        let (a, b) = (run(5), run(5));
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.metrics(), b.metrics());
+        let c = run(6);
+        assert_ne!(a.trace().events(), c.trace().events());
+    }
+
+    struct Crasher {
+        volatile: u32,
+        restarts: u32,
+    }
+    impl Process<Msg> for Crasher {
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, msg: Msg) {
+            let Msg::Ping(n) = msg;
+            self.volatile += n;
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.volatile = 0; // models loss of volatile state
+            self.restarts += 1;
+            ctx.note("recovered");
+        }
+    }
+
+    #[test]
+    fn crash_window_drops_traffic_and_restart_hook_runs() {
+        let plan = FaultPlan::default().crash(
+            NodeId(1),
+            SimTime::from_ticks(50),
+            Some(SimTime::from_ticks(100)),
+        );
+        let mut sim = SimBuilder::new().seed(2).trace(true).faults(plan).build();
+        sim.add_node(Crasher {
+            volatile: 0,
+            restarts: 0,
+        });
+        sim.add_node(Crasher {
+            volatile: 0,
+            restarts: 0,
+        });
+        // One message before the crash, one during, one after the restart.
+        sim.run_until(SimTime::from_ticks(10));
+        sim.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Msg::Ping(1)));
+        sim.run_until(SimTime::from_ticks(60));
+        assert!(sim.is_crashed(NodeId(1)));
+        sim.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Msg::Ping(10)));
+        sim.run_until(SimTime::from_ticks(120));
+        assert!(!sim.is_crashed(NodeId(1)));
+        sim.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Msg::Ping(100)));
+        sim.run_to_quiescence(10_000);
+        let p1 = sim.node(NodeId(1));
+        assert_eq!(p1.restarts, 1);
+        assert_eq!(
+            p1.volatile, 100,
+            "pre-crash state cleared, mid-crash msg lost"
+        );
+        assert_eq!(sim.metrics().get(builtin::CRASHES), 1);
+        assert_eq!(sim.metrics().get(builtin::RESTARTS), 1);
+        assert_eq!(sim.metrics().get(builtin::MESSAGES_DROPPED), 1);
+        assert_eq!(sim.trace().notes_containing("recovered").count(), 1);
+    }
+
+    #[test]
+    fn reliable_layer_restores_exactly_once_fifo_under_faults() {
+        let plan = FaultPlan::default()
+            .loss(0.3)
+            .duplicate(0.2)
+            .reorder(0.3, 60);
+        let mut sim = one_way(
+            SimBuilder::new()
+                .seed(13)
+                .faults(plan)
+                .reliable(ReliableConfig::default()),
+            100,
+        );
+        let out = sim.run_to_quiescence(1_000_000);
+        assert!(out.quiescent);
+        let want: Vec<u32> = (0..100).collect();
+        assert_eq!(sim.node(NodeId(1)).received, want);
+        assert!(sim.metrics().get(builtin::RETRANSMISSIONS) > 0);
+        assert!(sim.metrics().get(builtin::ACKS_SENT) >= 100);
+        assert_eq!(sim.metrics().get(builtin::DELIVERIES_ABANDONED), 0);
+    }
+
+    #[test]
+    fn reliable_layer_redelivers_across_crash() {
+        let plan = FaultPlan::default().crash(
+            NodeId(1),
+            SimTime::from_ticks(5),
+            Some(SimTime::from_ticks(200)),
+        );
+        let mut sim = SimBuilder::new()
+            .seed(8)
+            .faults(plan)
+            .reliable(ReliableConfig::default())
+            .build();
+        sim.add_node(OneWay {
+            peer: NodeId(1),
+            count: 20,
+            received: vec![],
+        });
+        sim.add_node(OneWay {
+            peer: NodeId(0),
+            count: 20,
+            received: vec![],
+        });
+        let out = sim.run_to_quiescence(1_000_000);
+        assert!(out.quiescent);
+        // Every message sent before/into the outage arrives after restart,
+        // still in order.
+        let want: Vec<u32> = (0..20).collect();
+        assert_eq!(sim.node(NodeId(1)).received, want);
+        assert!(sim.metrics().get(builtin::RETRANSMISSIONS) > 0);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_heal() {
+        let plan = FaultPlan::default().partition(
+            vec![NodeId(0)],
+            SimTime::from_ticks(0),
+            SimTime::from_ticks(100),
+        );
+        let mut sim = one_way(SimBuilder::new().seed(4).faults(plan), 10);
+        sim.run_until(SimTime::from_ticks(99));
+        assert!(sim.node(NodeId(1)).received.is_empty());
+        assert_eq!(sim.metrics().get(builtin::MESSAGES_DROPPED), 10);
+        // After healing, fresh sends get through.
+        sim.run_until(SimTime::from_ticks(150));
+        sim.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Msg::Ping(42)));
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.node(NodeId(1)).received, vec![42]);
+    }
+
+    #[test]
+    fn try_node_and_try_with_node_handle_out_of_range() {
+        let mut sim = pair(1);
+        assert!(sim.try_node(NodeId(0)).is_some());
+        assert!(sim.try_node(NodeId(9)).is_none());
+        assert_eq!(
+            sim.try_with_node(NodeId(0), |p, _| p.received.len()),
+            Some(0)
+        );
+        assert_eq!(sim.try_with_node(NodeId(9), |_, _| ()), None);
+    }
+
+    #[test]
+    fn reliable_abandons_after_max_attempts() {
+        // Node 1 never comes back: every packet towards it is eventually
+        // abandoned and the run still quiesces.
+        let plan = FaultPlan::default().crash(NodeId(1), SimTime::from_ticks(0), None);
+        let mut sim = SimBuilder::new()
+            .seed(1)
+            .faults(plan)
+            .reliable(ReliableConfig {
+                rto_initial: 8,
+                rto_cap: 64,
+                max_attempts: 4,
+            })
+            .build();
+        sim.add_node(OneWay {
+            peer: NodeId(1),
+            count: 3,
+            received: vec![],
+        });
+        sim.add_node(OneWay {
+            peer: NodeId(0),
+            count: 3,
+            received: vec![],
+        });
+        let out = sim.run_to_quiescence(1_000_000);
+        assert!(out.quiescent, "abandonment must keep the queue finite");
+        assert_eq!(sim.metrics().get(builtin::DELIVERIES_ABANDONED), 3);
+        assert!(sim.node(NodeId(1)).received.is_empty());
     }
 }

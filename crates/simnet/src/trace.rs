@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use crate::faults::DropReason;
 use crate::sim::NodeId;
 use crate::time::SimTime;
 
@@ -55,6 +56,72 @@ pub enum TraceEvent {
         /// Annotation text.
         text: String,
     },
+    /// A message (or reliable-layer wire packet) was dropped by fault
+    /// injection, a crash window, or transport abandonment.
+    Drop {
+        /// Time of the drop (send time for wire faults, delivery time for
+        /// crashed recipients).
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Human-readable message summary.
+        summary: String,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// Fault injection scheduled a second copy of a message.
+    Duplicate {
+        /// Time of the duplication (the original send time).
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Scheduled delivery time of the extra copy.
+        deliver_at: SimTime,
+        /// Human-readable message summary.
+        summary: String,
+    },
+    /// A node crashed (scheduled by the fault plan).
+    Crash {
+        /// Crash time.
+        at: SimTime,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node restarted.
+    Restart {
+        /// Restart time.
+        at: SimTime,
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// The reliable layer retransmitted an unacknowledged packet.
+    Retransmit {
+        /// Retransmission time.
+        at: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Channel sequence number being re-sent.
+        seq: u64,
+        /// Transmissions already made before this one.
+        attempt: u32,
+    },
+    /// The reliable layer sent a cumulative acknowledgement.
+    Ack {
+        /// Send time of the ack.
+        at: SimTime,
+        /// The acking node (the data receiver).
+        from: NodeId,
+        /// The acked node (the data sender).
+        to: NodeId,
+        /// Every sequence number below this is acknowledged.
+        next: u64,
+    },
 }
 
 impl TraceEvent {
@@ -64,7 +131,13 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Timer { at, .. }
-            | TraceEvent::Note { at, .. } => *at,
+            | TraceEvent::Note { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Duplicate { at, .. }
+            | TraceEvent::Crash { at, .. }
+            | TraceEvent::Restart { at, .. }
+            | TraceEvent::Retransmit { at, .. }
+            | TraceEvent::Ack { at, .. } => *at,
         }
     }
 }
@@ -78,7 +151,10 @@ impl fmt::Display for TraceEvent {
                 to,
                 deliver_at,
                 summary,
-            } => write!(f, "{at} SEND    {from} -> {to} (eta {deliver_at}): {summary}"),
+            } => write!(
+                f,
+                "{at} SEND    {from} -> {to} (eta {deliver_at}): {summary}"
+            ),
             TraceEvent::Deliver {
                 at,
                 from,
@@ -89,6 +165,35 @@ impl fmt::Display for TraceEvent {
                 write!(f, "{at} TIMER   {node} tag={tag}")
             }
             TraceEvent::Note { at, node, text } => write!(f, "{at} NOTE    {node}: {text}"),
+            TraceEvent::Drop {
+                at,
+                from,
+                to,
+                summary,
+                reason,
+            } => write!(f, "{at} DROP    {from} -> {to} [{reason}]: {summary}"),
+            TraceEvent::Duplicate {
+                at,
+                from,
+                to,
+                deliver_at,
+                summary,
+            } => write!(
+                f,
+                "{at} DUP     {from} -> {to} (eta {deliver_at}): {summary}"
+            ),
+            TraceEvent::Crash { at, node } => write!(f, "{at} CRASH   {node}"),
+            TraceEvent::Restart { at, node } => write!(f, "{at} RESTART {node}"),
+            TraceEvent::Retransmit {
+                at,
+                from,
+                to,
+                seq,
+                attempt,
+            } => write!(f, "{at} RETX    {from} -> {to} seq={seq} attempt={attempt}"),
+            TraceEvent::Ack { at, from, to, next } => {
+                write!(f, "{at} ACK     {from} -> {to} next={next}")
+            }
         }
     }
 }
@@ -144,9 +249,9 @@ impl Trace {
 
     /// Returns the notes (annotations) matching a substring, in order.
     pub fn notes_containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| {
-            matches!(e, TraceEvent::Note { text, .. } if text.contains(needle))
-        })
+        self.events
+            .iter()
+            .filter(move |e| matches!(e, TraceEvent::Note { text, .. } if text.contains(needle)))
     }
 }
 
@@ -224,5 +329,51 @@ mod tests {
         });
         let s = t.to_string();
         assert!(s.contains("SEND") && s.contains("DELIVER") && s.contains("eta t=4"));
+    }
+
+    #[test]
+    fn display_formats_fault_kinds() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Drop {
+            at: SimTime::from_ticks(1),
+            from: NodeId(0),
+            to: NodeId(1),
+            summary: "req".into(),
+            reason: DropReason::Loss,
+        });
+        t.push(TraceEvent::Duplicate {
+            at: SimTime::from_ticks(1),
+            from: NodeId(0),
+            to: NodeId(1),
+            deliver_at: SimTime::from_ticks(9),
+            summary: "req".into(),
+        });
+        t.push(TraceEvent::Crash {
+            at: SimTime::from_ticks(2),
+            node: NodeId(1),
+        });
+        t.push(TraceEvent::Restart {
+            at: SimTime::from_ticks(3),
+            node: NodeId(1),
+        });
+        t.push(TraceEvent::Retransmit {
+            at: SimTime::from_ticks(4),
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 7,
+            attempt: 2,
+        });
+        t.push(TraceEvent::Ack {
+            at: SimTime::from_ticks(5),
+            from: NodeId(1),
+            to: NodeId(0),
+            next: 8,
+        });
+        let s = t.to_string();
+        assert!(s.contains("DROP") && s.contains("[loss]"));
+        assert!(s.contains("DUP") && s.contains("CRASH") && s.contains("RESTART"));
+        assert!(s.contains("RETX") && s.contains("seq=7") && s.contains("attempt=2"));
+        assert!(s.contains("ACK") && s.contains("next=8"));
+        assert_eq!(t.events()[5].at(), SimTime::from_ticks(5));
     }
 }

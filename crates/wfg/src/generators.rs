@@ -123,7 +123,8 @@ pub fn realise_black(edges: &[(usize, usize)]) -> WaitForGraph {
     for &(a, b) in edges {
         g.create_grey(NodeId(a), NodeId(b))
             .expect("generator produced a duplicate or self-loop edge");
-        g.blacken(NodeId(a), NodeId(b)).expect("freshly created grey edge");
+        g.blacken(NodeId(a), NodeId(b))
+            .expect("freshly created grey edge");
     }
     g
 }
@@ -296,7 +297,11 @@ mod tests {
         };
         assert_eq!(t.vertex_count(), 7);
         assert_eq!(t.edges().len(), 7);
-        let t2 = Topology::Random { n: 6, p: 0.5, seed: 9 };
+        let t2 = Topology::Random {
+            n: 6,
+            p: 0.5,
+            seed: 9,
+        };
         assert_eq!(t2.edges(), t2.edges());
         assert_eq!(Topology::FigureEight { a: 2, b: 2 }.vertex_count(), 3);
     }

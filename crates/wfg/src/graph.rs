@@ -242,7 +242,7 @@ impl WaitForGraph {
         if self.out_degree(to) > 0 {
             // Check colour first so missing-edge errors stay precise.
             if let Some(EdgeColour::Black) = self.colour(from, to) {
-                return Err(AxiomViolation::ReplierBlocked { from, to })
+                return Err(AxiomViolation::ReplierBlocked { from, to });
             }
         }
         self.transition(from, to, EdgeColour::Black, EdgeColour::White)
@@ -294,10 +294,13 @@ impl WaitForGraph {
 
     /// Outgoing edges of `v`, in head order.
     pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
-        self.out
-            .get(&v)
-            .into_iter()
-            .flat_map(move |m| m.iter().map(move |(&to, &colour)| Edge { from: v, to, colour }))
+        self.out.get(&v).into_iter().flat_map(move |m| {
+            m.iter().map(move |(&to, &colour)| Edge {
+                from: v,
+                to,
+                colour,
+            })
+        })
     }
 
     /// Incoming edges of `v`, in tail order.
@@ -330,7 +333,8 @@ impl WaitForGraph {
     /// All edges, ordered by `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.out.iter().flat_map(|(&from, m)| {
-            m.iter().map(move |(&to, &colour)| Edge { from, to, colour })
+            m.iter()
+                .map(move |(&to, &colour)| Edge { from, to, colour })
         })
     }
 
@@ -410,7 +414,10 @@ mod tests {
         g.create_grey(n(0), n(1)).unwrap();
         assert_eq!(
             g.create_grey(n(0), n(1)),
-            Err(AxiomViolation::EdgeExists { from: n(0), to: n(1) })
+            Err(AxiomViolation::EdgeExists {
+                from: n(0),
+                to: n(1)
+            })
         );
         // But the reverse edge is a different edge.
         g.create_grey(n(1), n(0)).unwrap();
@@ -436,7 +443,10 @@ mod tests {
         g.blacken(n(0), n(1)).unwrap();
         assert!(matches!(
             g.blacken(n(0), n(1)),
-            Err(AxiomViolation::WrongColour { found: EdgeColour::Black, .. })
+            Err(AxiomViolation::WrongColour {
+                found: EdgeColour::Black,
+                ..
+            })
         ));
     }
 
@@ -449,7 +459,10 @@ mod tests {
         g.create_grey(n(1), n(2)).unwrap();
         assert_eq!(
             g.whiten(n(0), n(1)),
-            Err(AxiomViolation::ReplierBlocked { from: n(0), to: n(1) })
+            Err(AxiomViolation::ReplierBlocked {
+                from: n(0),
+                to: n(1)
+            })
         );
         // Resolve 1's wait, then whitening works.
         g.blacken(n(1), n(2)).unwrap();
@@ -464,7 +477,10 @@ mod tests {
         g.create_grey(n(0), n(1)).unwrap();
         assert!(matches!(
             g.whiten(n(0), n(1)),
-            Err(AxiomViolation::WrongColour { found: EdgeColour::Grey, .. })
+            Err(AxiomViolation::WrongColour {
+                found: EdgeColour::Grey,
+                ..
+            })
         ));
     }
 
@@ -474,7 +490,10 @@ mod tests {
         g.create_grey(n(0), n(1)).unwrap();
         assert!(matches!(
             g.delete_white(n(0), n(1)),
-            Err(AxiomViolation::WrongColour { found: EdgeColour::Grey, .. })
+            Err(AxiomViolation::WrongColour {
+                found: EdgeColour::Grey,
+                ..
+            })
         ));
         assert!(matches!(
             g.delete_white(n(5), n(6)),

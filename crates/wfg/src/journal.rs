@@ -164,8 +164,14 @@ mod tests {
         use crate::graph::EdgeColour::{Black, Grey, White};
         assert!(j.replay_until(t(0)).unwrap().is_empty());
         assert_eq!(j.replay_until(t(1)).unwrap().colour(n(0), n(1)), Some(Grey));
-        assert_eq!(j.replay_until(t(4)).unwrap().colour(n(0), n(1)), Some(Black));
-        assert_eq!(j.replay_until(t(5)).unwrap().colour(n(0), n(1)), Some(White));
+        assert_eq!(
+            j.replay_until(t(4)).unwrap().colour(n(0), n(1)),
+            Some(Black)
+        );
+        assert_eq!(
+            j.replay_until(t(5)).unwrap().colour(n(0), n(1)),
+            Some(White)
+        );
         assert!(j.replay_all().unwrap().is_empty());
         assert_eq!(j.len(), 4);
     }

@@ -367,12 +367,7 @@ mod tests {
 
     #[test]
     fn two_disjoint_cycles() {
-        let g = build(&[
-            (0, 1, Black),
-            (1, 0, Black),
-            (2, 3, Grey),
-            (3, 2, Black),
-        ]);
+        let g = build(&[(0, 1, Black), (1, 0, Black), (2, 3, Grey), (3, 2, Black)]);
         let sccs = dark_sccs(&g);
         let big: Vec<_> = sccs.into_iter().filter(|c| c.len() >= 2).collect();
         assert_eq!(big.len(), 2);
@@ -406,8 +401,9 @@ mod tests {
         );
         // From 1 only the cycle edges are reachable (the tail hangs *into*
         // the cycle, so paths from 1 never traverse (3,4) or (4,0)).
-        let cycle_edges: std::collections::BTreeSet<_> =
-            [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))].into_iter().collect();
+        let cycle_edges: std::collections::BTreeSet<_> = [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))]
+            .into_iter()
+            .collect();
         assert_eq!(wfgd_ground_truth(&g, n(1), n(0)), cycle_edges);
         // From 0 itself: the whole cycle.
         assert_eq!(wfgd_ground_truth(&g, n(0), n(0)), cycle_edges);

@@ -73,7 +73,10 @@ impl Default for ChurnConfig {
 /// issue time, so injections into busy nodes may dissolve).
 pub fn random_churn(cfg: &ChurnConfig) -> Schedule {
     assert!(cfg.n >= 2, "need at least two nodes");
-    assert!(cfg.cycle_len >= 2 && cfg.cycle_len <= cfg.n, "bad cycle_len");
+    assert!(
+        cfg.cycle_len >= 2 && cfg.cycle_len <= cfg.n,
+        "bad cycle_len"
+    );
     let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut events = Vec::new();
     let mut t = 0u64;
@@ -176,7 +179,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.events.is_empty());
         assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(a.events.iter().all(|e| e.from != e.to && e.from < 16 && e.to < 16));
+        assert!(a
+            .events
+            .iter()
+            .all(|e| e.from != e.to && e.from < 16 && e.to < 16));
     }
 
     #[test]

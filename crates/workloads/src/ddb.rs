@@ -86,8 +86,7 @@ pub fn random_transactions(cfg: &DdbWorkloadConfig) -> Vec<TimedTxn> {
     for i in 0..cfg.transactions {
         t += rng.skewed_delay(cfg.mean_arrival_gap);
         let home = SiteId(rng.next_below(cfg.sites as u64) as usize);
-        let n_locks =
-            rng.range_inclusive(cfg.locks_min as u64, cfg.locks_max as u64) as usize;
+        let n_locks = rng.range_inclusive(cfg.locks_min as u64, cfg.locks_max as u64) as usize;
         // Choose distinct (site, resource) pairs.
         let mut picks: Vec<(SiteId, ResourceId)> = Vec::new();
         let mut guard = 0;

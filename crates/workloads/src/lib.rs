@@ -20,6 +20,10 @@ pub mod basic;
 pub mod ddb;
 pub mod ormodel;
 
-pub use basic::{acyclic_churn, drive_schedule, random_churn, topology_schedule, ChurnConfig, Schedule};
-pub use ddb::{bank_transfers, dining_philosophers, random_transactions, DdbWorkloadConfig, TimedTxn};
+pub use basic::{
+    acyclic_churn, drive_schedule, random_churn, topology_schedule, ChurnConfig, Schedule,
+};
+pub use ddb::{
+    bank_transfers, dining_philosophers, random_transactions, DdbWorkloadConfig, TimedTxn,
+};
 pub use ormodel::{drive_or, or_ring, random_or_scenario, OrAction, OrScenarioConfig};

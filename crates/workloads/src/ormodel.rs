@@ -77,7 +77,10 @@ impl Default for OrScenarioConfig {
 /// run dynamics.
 pub fn random_or_scenario(cfg: &OrScenarioConfig) -> Vec<OrAction> {
     assert!(cfg.n >= 2 && cfg.deps_min >= 1 && cfg.deps_min <= cfg.deps_max);
-    assert!(cfg.deps_max < cfg.n, "dependent set must exclude the process");
+    assert!(
+        cfg.deps_max < cfg.n,
+        "dependent set must exclude the process"
+    );
     let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut out = Vec::with_capacity(cfg.actions);
     let mut t = 0u64;
@@ -176,7 +179,11 @@ mod tests {
         assert_eq!(r.len(), 3);
         assert_eq!(
             r[2],
-            OrAction::Block { at: 0, who: 2, deps: vec![0] }
+            OrAction::Block {
+                at: 0,
+                who: 2,
+                deps: vec![0]
+            }
         );
     }
 

@@ -60,9 +60,12 @@ fn main() {
     }
     println!(
         "aborts: {}, restarts: {}, probes: {}",
-        db.metrics().get(chandy_misra_haas::cmh_ddb::controller::counters::ABORTED),
-        db.metrics().get(chandy_misra_haas::cmh_ddb::controller::counters::RESTARTED),
-        db.metrics().get(chandy_misra_haas::cmh_ddb::controller::counters::PROBE_SENT),
+        db.metrics()
+            .get(chandy_misra_haas::cmh_ddb::controller::counters::ABORTED),
+        db.metrics()
+            .get(chandy_misra_haas::cmh_ddb::controller::counters::RESTARTED),
+        db.metrics()
+            .get(chandy_misra_haas::cmh_ddb::controller::counters::PROBE_SENT),
     );
     println!("all philosophers have eaten.");
 }

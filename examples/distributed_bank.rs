@@ -29,8 +29,14 @@ fn run(cfg: DdbConfig, label: &str) {
     db.run_until(SimTime::from_ticks(200_000));
 
     let outcomes = db.outcomes();
-    let committed = outcomes.iter().filter(|o| o.status == TxnStatus::Committed).count();
-    let stuck = outcomes.iter().filter(|o| o.status == TxnStatus::Running).count();
+    let committed = outcomes
+        .iter()
+        .filter(|o| o.status == TxnStatus::Committed)
+        .count();
+    let stuck = outcomes
+        .iter()
+        .filter(|o| o.status == TxnStatus::Running)
+        .count();
     let commit_times: Vec<u64> = outcomes
         .iter()
         .filter(|o| o.status == TxnStatus::Committed)
@@ -64,7 +70,10 @@ fn main() {
         },
         "no deadlock detection",
     );
-    run(DdbConfig::detect_and_resolve(120, 90), "CMH detection + abort/restart");
+    run(
+        DdbConfig::detect_and_resolve(120, 90),
+        "CMH detection + abort/restart",
+    );
     println!("\nwithout detection, opposing transfers wedge and everything queued behind");
     println!("them starves; with the probe computation every transfer commits.");
 }

@@ -33,7 +33,10 @@ fn main() {
     let declared = vertices.iter().filter(|v| v.deadlock().is_some()).count();
     println!("{declared} vertex(es) declared deadlock on live threads");
     assert!(declared >= 1, "the ring deadlock must be detected");
-    assert!(vertices.iter().all(LiveVertex::is_blocked), "everyone is blocked");
+    assert!(
+        vertices.iter().all(LiveVertex::is_blocked),
+        "everyone is blocked"
+    );
 
     // Contrast: a chain with working services resolves and stays silent.
     println!("\nnow a chain with services enabled (no deadlock):");

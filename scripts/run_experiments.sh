@@ -17,6 +17,7 @@ bins=(
   exp_fifo_ablation
   exp_or_model
   exp_ablations
+  exp_faults
 )
 for b in "${bins[@]}"; do
   echo "== $b =="

@@ -24,16 +24,23 @@ fn topology_matrix_detects_every_deadlock() {
         Topology::Cycle { n: 2 },
         Topology::Cycle { n: 7 },
         Topology::FigureEight { a: 3, b: 4 },
-        Topology::CycleWithTails { cycle_len: 5, tail_len: 3, n_tails: 3 },
+        Topology::CycleWithTails {
+            cycle_len: 5,
+            tail_len: 3,
+            n_tails: 3,
+        },
         Topology::Complete { n: 6 },
     ];
     for t in topologies {
         let mut net = BasicNet::new(t.vertex_count(), BasicConfig::on_block(3), 9);
         net.request_edges(&t.edges()).unwrap();
         net.run_to_quiescence(50_000_000);
-        let sound = net.verify_soundness().unwrap_or_else(|e| panic!("{t:?}: {e}"));
+        let sound = net
+            .verify_soundness()
+            .unwrap_or_else(|e| panic!("{t:?}: {e}"));
         assert!(sound >= 1, "{t:?}: nothing declared");
-        net.verify_completeness().unwrap_or_else(|e| panic!("{t:?}: {e}"));
+        net.verify_completeness()
+            .unwrap_or_else(|e| panic!("{t:?}: {e}"));
     }
 }
 
@@ -51,8 +58,10 @@ fn churn_with_injected_cycles_is_sound_and_complete_across_seeds() {
         let mut net = BasicNet::new(sched.n, BasicConfig::on_block(20), seed);
         drive(&mut net, &sched);
         net.run_to_quiescence(50_000_000);
-        net.verify_soundness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        net.verify_completeness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        net.verify_soundness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        net.verify_completeness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -72,7 +81,10 @@ fn acyclic_churn_never_declares() {
         let out = net.run_to_quiescence(50_000_000);
         assert!(out.quiescent, "seed {seed}");
         assert!(net.declarations().is_empty(), "seed {seed}: phantom");
-        assert!(net.current_graph().unwrap().is_empty(), "seed {seed}: residue");
+        assert!(
+            net.current_graph().unwrap().is_empty(),
+            "seed {seed}: residue"
+        );
     }
 }
 
@@ -112,7 +124,10 @@ fn detection_works_under_every_latency_model() {
             slow_hi: 160,
             slow_prob: 0.3,
         },
-        LatencyModel::Distance { base: 2, per_hop: 2 },
+        LatencyModel::Distance {
+            base: 2,
+            per_hop: 2,
+        },
     ];
     for (i, model) in models.into_iter().enumerate() {
         let builder = SimBuilder::new().seed(i as u64).latency(model.clone());
@@ -181,7 +196,8 @@ fn late_request_onto_existing_deadlock_is_safe() {
 fn wfgd_reaches_upstream_blocked_processes() {
     // Ring 0-1-2 with tail 4 -> 3 -> 0; single initiator for a clean check.
     let mut net = BasicNet::new(5, BasicConfig::manual(), 2);
-    net.request_edges(&[(0, 1), (1, 2), (2, 0), (3, 0), (4, 3)]).unwrap();
+    net.request_edges(&[(0, 1), (1, 2), (2, 0), (3, 0), (4, 3)])
+        .unwrap();
     net.run_to_quiescence(50_000_000);
     net.with_node(NodeId(0), |p, ctx| p.initiate(ctx));
     net.run_to_quiescence(50_000_000);

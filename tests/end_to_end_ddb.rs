@@ -29,8 +29,10 @@ fn random_workloads_sound_and_complete_across_seeds() {
         let mut db = DdbNet::new(4, DdbConfig::detect_only(120), seed);
         submit_all(&mut db, random_transactions(&wl));
         db.run_until(SimTime::from_ticks(40_000));
-        db.verify_soundness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        db.verify_completeness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        db.verify_soundness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        db.verify_completeness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
@@ -49,9 +51,17 @@ fn ordered_acquisition_never_deadlocks_or_declares() {
         let mut db = DdbNet::new(3, DdbConfig::detect_only(60), seed);
         submit_all(&mut db, random_transactions(&wl));
         db.run_until(SimTime::from_ticks(300_000));
-        assert!(db.declarations().is_empty(), "seed {seed}: phantom in ordered workload");
+        assert!(
+            db.declarations().is_empty(),
+            "seed {seed}: phantom in ordered workload"
+        );
         for o in db.outcomes() {
-            assert_eq!(o.status, TxnStatus::Committed, "seed {seed}: {} wedged", o.txn);
+            assert_eq!(
+                o.status,
+                TxnStatus::Committed,
+                "seed {seed}: {} wedged",
+                o.txn
+            );
         }
     }
 }
@@ -108,11 +118,15 @@ fn on_block_delayed_matches_periodic_detection_outcomes() {
 
 #[test]
 fn never_policy_detects_nothing_but_graph_shows_deadlock() {
-    let mut db = DdbNet::new(3, DdbConfig {
-        initiation: DdbInitiation::Never,
-        resolution: Resolution::None,
-        ..DdbConfig::default()
-    }, 1);
+    let mut db = DdbNet::new(
+        3,
+        DdbConfig {
+            initiation: DdbInitiation::Never,
+            resolution: Resolution::None,
+            ..DdbConfig::default()
+        },
+        1,
+    );
     submit_all(&mut db, dining_philosophers(3, 20, 10));
     db.run_until(SimTime::from_ticks(20_000));
     assert!(db.declarations().is_empty());
@@ -189,8 +203,10 @@ fn batched_and_waits_sound_and_complete_across_seeds() {
         let mut db = DdbNet::new(3, DdbConfig::detect_only(100), seed);
         submit_all(&mut db, random_transactions(&wl));
         db.run_until(SimTime::from_ticks(40_000));
-        db.verify_soundness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        db.verify_completeness().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        db.verify_soundness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        db.verify_completeness()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 

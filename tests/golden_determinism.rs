@@ -13,7 +13,9 @@
 
 use cmh_core::{BasicConfig, BasicNet};
 use cmh_ddb::{DdbConfig, DdbNet};
-use simnet::sim::SimBuilder;
+use simnet::faults::FaultPlan;
+use simnet::reliable::ReliableConfig;
+use simnet::sim::{NodeId, SimBuilder};
 use simnet::time::SimTime;
 use workloads::{dining_philosophers, drive_schedule, random_churn, ChurnConfig};
 
@@ -77,6 +79,53 @@ fn ddb_runs_are_reproducible() {
         fnv1a(s.as_bytes())
     };
     assert_eq!(run(), run());
+}
+
+/// A chaos run: churn workload over a faulty network (loss + duplication +
+/// reordering + a crash/restart) with the reliable transport on top.
+fn chaos_digest(seed: u64) -> u64 {
+    let sched = random_churn(&ChurnConfig {
+        n: 8,
+        duration: 2_500,
+        mean_gap: 25,
+        cycle_prob: 0.06,
+        cycle_len: 3,
+        seed,
+    });
+    let plan = FaultPlan::new()
+        .loss(0.10)
+        .duplicate(0.05)
+        .reorder(0.10, 40)
+        .crash(
+            NodeId(2),
+            SimTime::from_ticks(900),
+            Some(SimTime::from_ticks(1_400)),
+        );
+    let builder = SimBuilder::new()
+        .seed(seed)
+        .trace(true)
+        .faults(plan)
+        .reliable(ReliableConfig::default());
+    let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(12), builder);
+    drive_schedule(
+        &mut net,
+        &sched,
+        |x, at| {
+            x.run_until(at);
+        },
+        |x, f, t| !x.is_crashed(f) && !x.is_crashed(t) && x.request(f, t).is_ok(),
+    );
+    net.run_to_quiescence(20_000_000);
+    fnv1a(net.trace().to_string().as_bytes())
+}
+
+/// Same seed and same fault plan must reproduce the byte-identical trace:
+/// every fault decision (which message is lost, duplicated, delayed, when
+/// the crash lands) comes from the seeded RNG, never from ambient state.
+#[test]
+fn same_seed_and_fault_plan_give_identical_traces() {
+    assert_eq!(chaos_digest(11), chaos_digest(11));
+    assert_ne!(chaos_digest(11), chaos_digest(12));
 }
 
 #[test]

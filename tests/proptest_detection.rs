@@ -112,8 +112,7 @@ enum LockAction {
 
 fn lock_action() -> impl Strategy<Value = LockAction> {
     prop_oneof![
-        (0u32..6, 0u64..4, any::<bool>())
-            .prop_map(|(t, r, x)| LockAction::Request(t, r, x)),
+        (0u32..6, 0u64..4, any::<bool>()).prop_map(|(t, r, x)| LockAction::Request(t, r, x)),
         (0u32..6, 0u64..4).prop_map(|(t, r)| LockAction::Release(t, r)),
         (0u32..6).prop_map(LockAction::ReleaseAll),
     ]

@@ -63,7 +63,10 @@ fn many_deep_tails_resolve_everywhere_except_the_knot() {
     assert_eq!(net.verify_completeness().unwrap(), 4);
     // No tail vertex ever declares, however deep the pile-up.
     for i in 4..n {
-        assert!(net.node(NodeId(i)).deadlock().is_none(), "tail {i} declared");
+        assert!(
+            net.node(NodeId(i)).deadlock().is_none(),
+            "tail {i} declared"
+        );
     }
 }
 
@@ -91,7 +94,11 @@ fn wide_ddb_mixed_workload_with_resolution_terminates() {
         .iter()
         .filter(|o| o.status == cmh_ddb::TxnStatus::Committed)
         .count();
-    assert_eq!(committed, outcomes.len(), "resolution must drain the workload");
+    assert_eq!(
+        committed,
+        outcomes.len(),
+        "resolution must drain the workload"
+    );
     let (g, _) = db.agent_graph();
     assert!(g.is_empty(), "no residual waits");
 }

@@ -9,6 +9,8 @@
 use std::collections::BTreeMap;
 
 use cmh_core::{BasicConfig, BasicNet};
+use simnet::faults::FaultPlan;
+use simnet::reliable::ReliableConfig;
 use simnet::sim::{NodeId, SimBuilder};
 use simnet::time::SimTime;
 use simnet::trace::TraceEvent;
@@ -47,11 +49,18 @@ fn every_send_is_delivered_exactly_once_in_fifo_order() {
         let mut delivers: BTreeMap<(NodeId, NodeId), Vec<String>> = BTreeMap::new();
         for e in &events {
             match e {
-                TraceEvent::Send { from, to, summary, .. } => {
+                TraceEvent::Send {
+                    from, to, summary, ..
+                } => {
                     sends.entry((*from, *to)).or_default().push(summary.clone());
                 }
-                TraceEvent::Deliver { from, to, summary, .. } => {
-                    delivers.entry((*from, *to)).or_default().push(summary.clone());
+                TraceEvent::Deliver {
+                    from, to, summary, ..
+                } => {
+                    delivers
+                        .entry((*from, *to))
+                        .or_default()
+                        .push(summary.clone());
                 }
                 _ => {}
             }
@@ -63,7 +72,10 @@ fn every_send_is_delivered_exactly_once_in_fifo_order() {
         );
         for (chan, sent) in &sends {
             let got = &delivers[chan];
-            assert_eq!(sent, got, "seed {seed}: FIFO/reliability violated on {chan:?}");
+            assert_eq!(
+                sent, got,
+                "seed {seed}: FIFO/reliability violated on {chan:?}"
+            );
         }
     }
 }
@@ -76,7 +88,13 @@ fn deliveries_never_precede_their_send() {
         let mut pending: BTreeMap<(NodeId, NodeId), Vec<SimTime>> = BTreeMap::new();
         for e in &events {
             match e {
-                TraceEvent::Send { at, from, to, deliver_at, .. } => {
+                TraceEvent::Send {
+                    at,
+                    from,
+                    to,
+                    deliver_at,
+                    ..
+                } => {
                     assert!(deliver_at > at, "seed {seed}: zero-latency delivery");
                     pending.entry((*from, *to)).or_default().push(*at);
                 }
@@ -89,7 +107,122 @@ fn deliveries_never_precede_their_send() {
             }
         }
         // Reliability again, by counts this time.
-        assert!(pending.values().all(Vec::is_empty), "seed {seed}: lost messages");
+        assert!(
+            pending.values().all(Vec::is_empty),
+            "seed {seed}: lost messages"
+        );
+    }
+}
+
+/// Like [`traced_run`], but over a faulty network: loss + duplication +
+/// reordering from a seeded [`FaultPlan`], optionally with the reliable
+/// transport layered on top.
+fn faulty_traced_run(seed: u64, reliable: bool) -> Vec<TraceEvent> {
+    let sched = random_churn(&ChurnConfig {
+        n: 8,
+        duration: 2_000,
+        mean_gap: 25,
+        cycle_prob: 0.05,
+        cycle_len: 3,
+        seed,
+    });
+    let plan = FaultPlan::new()
+        .loss(0.10)
+        .duplicate(0.05)
+        .reorder(0.10, 40);
+    let mut builder = SimBuilder::new().seed(seed).trace(true).faults(plan);
+    if reliable {
+        builder = builder.reliable(ReliableConfig::default());
+    }
+    let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(15), builder);
+    drive_schedule(
+        &mut net,
+        &sched,
+        |x, at| {
+            x.run_until(at);
+        },
+        |x, f, t| x.request(f, t).is_ok(),
+    );
+    net.run_to_quiescence(20_000_000);
+    net.trace().events().to_vec()
+}
+
+/// Raw faulty channels: every send is accounted for — it is either dropped
+/// or delivered, and each injected duplicate adds exactly one delivery.
+/// Per channel: `#Send + #Duplicate = #Deliver + #Drop`.
+#[test]
+fn faulty_sends_are_all_accounted_for() {
+    for seed in [21u64, 22, 23] {
+        let events = faulty_traced_run(seed, false);
+        let mut sends: BTreeMap<(NodeId, NodeId), i64> = BTreeMap::new();
+        let (mut n_drop, mut n_dup) = (0u64, 0u64);
+        for e in &events {
+            match e {
+                TraceEvent::Send { from, to, .. } => *sends.entry((*from, *to)).or_default() += 1,
+                TraceEvent::Duplicate { from, to, .. } => {
+                    n_dup += 1;
+                    *sends.entry((*from, *to)).or_default() += 1;
+                }
+                TraceEvent::Deliver { from, to, .. } => {
+                    *sends.entry((*from, *to)).or_default() -= 1;
+                }
+                TraceEvent::Drop { from, to, .. } => {
+                    n_drop += 1;
+                    *sends.entry((*from, *to)).or_default() -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(n_drop > 0, "seed {seed}: fault plan injected no losses");
+        assert!(n_dup > 0, "seed {seed}: fault plan injected no duplicates");
+        for (chan, balance) in &sends {
+            assert_eq!(*balance, 0, "seed {seed}: unaccounted message on {chan:?}");
+        }
+    }
+}
+
+/// The reliable layer over those same faulty channels restores the clean
+/// contract at the application level: per channel, the delivered summaries
+/// are exactly the sent summaries, in order — despite wire drops,
+/// duplicates and retransmissions visible elsewhere in the trace.
+#[test]
+fn reliable_layer_restores_exactly_once_fifo_in_traces() {
+    for seed in [21u64, 22] {
+        let events = faulty_traced_run(seed, true);
+        let mut sends: BTreeMap<(NodeId, NodeId), Vec<String>> = BTreeMap::new();
+        let mut delivers: BTreeMap<(NodeId, NodeId), Vec<String>> = BTreeMap::new();
+        let mut saw_retx = false;
+        for e in &events {
+            match e {
+                TraceEvent::Send {
+                    from, to, summary, ..
+                } => {
+                    sends.entry((*from, *to)).or_default().push(summary.clone());
+                }
+                TraceEvent::Deliver {
+                    from, to, summary, ..
+                } => {
+                    delivers
+                        .entry((*from, *to))
+                        .or_default()
+                        .push(summary.clone());
+                }
+                TraceEvent::Retransmit { .. } => saw_retx = true,
+                _ => {}
+            }
+        }
+        assert!(
+            saw_retx,
+            "seed {seed}: no retransmissions — faults inactive?"
+        );
+        for (chan, sent) in &sends {
+            let got = delivers.get(chan).map(Vec::as_slice).unwrap_or(&[]);
+            assert_eq!(
+                sent.as_slice(),
+                got,
+                "seed {seed}: exactly-once FIFO violated on {chan:?}"
+            );
+        }
     }
 }
 

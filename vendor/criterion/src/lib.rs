@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`: same authoring surface
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `black_box`), simple wall-clock measurement instead of
+//! criterion's statistical machinery. Prints `name: median ns/iter` lines.
+//! Good enough to keep the `benches/` directory compiling and runnable in a
+//! network-less environment; swap the real crate back in for publication
+//! numbers. See `vendor/README.md`.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurement harness handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    iters_per_sample: u64,
+    results_ns: Vec<u128>,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            iters_per_sample: 1,
+            results_ns: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, recording one sample per outer loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate so one sample takes ~1ms, bounding total runtime.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1);
+        self.iters_per_sample = (1_000_000 / once).max(1) as u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.results_ns
+                .push(t.elapsed().as_nanos() / self.iters_per_sample as u128);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup` (setup time excluded
+    /// from the per-iteration figure only coarsely: each sample is one
+    /// setup + one routine call).
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.results_ns.push(t.elapsed().as_nanos());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.results_ns.is_empty() {
+            return 0;
+        }
+        self.results_ns.sort_unstable();
+        self.results_ns[self.results_ns.len() / 2]
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmarked parameter (e.g. a size).
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, p: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Throughput annotation (accepted and echoed, not rate-converted).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2) as u64;
+        self
+    }
+
+    /// Records a throughput annotation (echoed in output).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let _ = t;
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        println!("{}/{}: {} ns/iter (median)", self.name, id.0, b.median_ns());
+        self
+    }
+
+    /// Benchmarks a closure with no extra input under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        println!("{}/{}: {} ns/iter (median)", self.name, id, b.median_ns());
+        self
+    }
+
+    /// Ends the group (printing is immediate; this is for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        println!("{name}: {} ns/iter (median)", b.median_ns());
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _parent: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner (macro parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group (macro parity).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_with_setup(|| n, |x| x + 1)
+        });
+        g.finish();
+    }
+}

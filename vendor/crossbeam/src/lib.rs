@@ -1,0 +1,150 @@
+//! Offline stand-in for the `crossbeam` facade, backed by `std`.
+//!
+//! Provides exactly the surface the repo uses — `channel::unbounded`,
+//! `queue::SegQueue`, and `thread::scope` — with crossbeam-compatible
+//! signatures. Since Rust 1.72 the std mpsc channel *is* the crossbeam
+//! implementation (FIFO, reliable, `Sender: Sync`), so the delegation
+//! preserves the ordering guarantees `simnet::runtime` documents. See
+//! `vendor/README.md`.
+
+pub mod channel {
+    //! MPSC channels re-exported from `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue with crossbeam's `SegQueue` interface
+    /// (here a mutex-protected `VecDeque`; contention is not a concern for
+    /// the batch runner's coarse work items).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends `value` at the tail.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Removes and returns the head element, or `None` if empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning interface.
+
+    use std::any::Any;
+
+    /// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so workers
+        /// could spawn further workers), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner: &'scope std::thread::Scope<'scope, 'env> = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before returning. Returns `Err` with the panic
+    /// payload if any thread (or `f` itself) panicked, like crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope(s)))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_is_fifo() {
+        let (tx, rx) = crate::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn segqueue_push_pop() {
+        let q = crate::queue::SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

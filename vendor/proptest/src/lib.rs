@@ -1,0 +1,204 @@
+//! Offline stand-in for `proptest`: deterministic seeded case generation
+//! with the same test-authoring surface the repo uses (`proptest!`,
+//! `Strategy`, `prop_map`, `prop_oneof!`, `collection::vec`,
+//! `prop_assert*`, `ProptestConfig`, `TestCaseError`).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failure reports the test name and case index;
+//!   cases are derived deterministically from the test name, so re-running
+//!   reproduces the exact failing input.
+//! * **No persistence** — `*.proptest-regressions` files are ignored.
+//!
+//! Both are acceptable for this repo because every generator is already
+//! seed-driven and failures are replayable by construction. See
+//! `vendor/README.md` for the swap-back path.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s of `elem`-generated values with a length drawn
+    /// uniformly from `len` (half-open, like the real crate's range form).
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(elem, len)
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for types with a canonical strategy.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::CaseRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "arbitrary value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut CaseRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut CaseRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut CaseRng) -> Self {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut CaseRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut CaseRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}: both `{:?}`",
+                format!($($fmt)+),
+                l
+            )));
+        }
+    }};
+}
+
+/// Picks uniformly among the listed strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests. Mirrors the real macro's
+/// `fn name(arg in strategy, ...) { body }` form, including the optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::test_runner::run_cases(&__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __body()
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,149 @@
+//! The deterministic case runner: per-test, per-case seeded RNG and the
+//! failure type used by the `prop_assert*` macros.
+
+use std::fmt;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The RNG handed to strategies for one test case. Seeded from the test
+/// name and case index, so each case is reproducible without any recorded
+/// state.
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Builds the RNG for `(test name, case index)`.
+    pub fn from_parts(name: &str, case: u64) -> Self {
+        let mut state = fnv1a(name.as_bytes()) ^ case.wrapping_mul(0xA24B_AED4_963E_E407);
+        // Warm up so adjacent case indices decorrelate.
+        splitmix64(&mut state);
+        CaseRng { state }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below requires a positive bound");
+        // Multiply-shift; bias is negligible for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases to run per property (mirrors `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (not panicked) test case, produced by the `prop_assert*`
+/// macros or by `TestCaseError::fail`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runs `f` against `cfg.cases` deterministic cases, panicking (as the
+/// surrounding `#[test]` expects) on the first failure.
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut f: impl FnMut(&mut CaseRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..cfg.cases as u64 {
+        let mut rng = CaseRng::from_parts(name, case);
+        if let Err(e) = f(&mut rng) {
+            panic!(
+                "property `{name}` failed at deterministic case {case}/{}: {e}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_parts_same_stream() {
+        let mut a = CaseRng::from_parts("x", 3);
+        let mut b = CaseRng::from_parts("x", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn adjacent_cases_decorrelate() {
+        let mut a = CaseRng::from_parts("x", 0);
+        let mut b = CaseRng::from_parts("x", 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at deterministic case")]
+    fn failing_case_panics_with_context() {
+        run_cases(&ProptestConfig::with_cases(4), "demo", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The repository's types carry `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker; nothing serializes yet. This crate provides
+//! the two trait names plus the (no-op) derives so the workspace builds in a
+//! network-less environment. See `vendor/README.md`.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros matching `serde_derive`'s public surface.
+//!
+//! The repo uses `#[derive(Serialize, Deserialize)]` purely as a marker (no
+//! code serializes anything yet); these derives expand to nothing so the
+//! workspace builds without the real crates-io dependency. Swapping the real
+//! serde back in requires only reverting the `[workspace.dependencies]`
+//! entry.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
