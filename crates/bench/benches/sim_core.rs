@@ -4,9 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use simnet::equeue::EventQueue;
 use simnet::latency::LatencyModel;
 use simnet::rng::DetRng;
-use simnet::sim::{Context, NodeId, Process, SimBuilder};
+use simnet::sim::{Context, NodeId, Process, SimBuilder, TimerId};
+use simnet::time::SimTime;
 
 #[derive(Debug, Clone)]
 struct Token(u64);
@@ -100,10 +102,88 @@ fn bench_latency_models(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw indexed-heap operations: the floor under every `set_timer`,
+/// `send` and `cancel_timer` the simulator executes.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/equeue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_depth256", |b| {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        for _ in 0..256 {
+            seq += 1;
+            q.push((SimTime::from_ticks(seq), seq), seq);
+        }
+        b.iter(|| {
+            seq += 1;
+            q.push((SimTime::from_ticks(seq), seq), seq);
+            black_box(q.pop())
+        });
+    });
+    group.bench_function("push_cancel", |b| {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let id = q.push((SimTime::from_ticks(seq), seq), seq);
+            black_box(q.remove(id))
+        });
+    });
+    group.finish();
+}
+
+/// A node that re-arms a near timer and cancels-and-replaces a far decoy
+/// every firing — the cancel-heavy pattern the indexed scheduler exists
+/// for (true O(log n) removal, no tombstones).
+struct TimerChurn {
+    decoy: Option<TimerId>,
+    left: u64,
+}
+
+impl Process<Token> for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+        self.decoy = Some(ctx.set_timer(1_000_000, 1));
+        ctx.set_timer(1, 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, Token>, _from: NodeId, _msg: Token) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Token>, _id: TimerId, tag: u64) {
+        if tag == 0 && self.left > 0 {
+            self.left -= 1;
+            if let Some(d) = self.decoy.take() {
+                ctx.cancel_timer(d);
+            }
+            self.decoy = Some(ctx.set_timer(1_000_000, 1));
+            ctx.set_timer(1, 0);
+        }
+    }
+}
+
+fn run_timer_churn(cycles: u64) -> u64 {
+    let mut sim = SimBuilder::new().seed(5).build::<Token, TimerChurn>();
+    sim.add_node(TimerChurn {
+        decoy: None,
+        left: cycles,
+    });
+    sim.run_to_quiescence(u64::MAX).events
+}
+
+fn bench_timer_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/timer_churn");
+    for cycles in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::from_parameter(cycles), &cycles, |b, &n| {
+            b.iter(|| black_box(run_timer_churn(n)));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_throughput,
     bench_rng,
-    bench_latency_models
+    bench_latency_models,
+    bench_event_queue,
+    bench_timer_churn
 );
 criterion_main!(benches);

@@ -17,9 +17,20 @@
 //!   With the reliable layer on, both violation counts must be zero.
 //! * **Part C** — the price of the repair: retransmissions, acks and
 //!   detection latency versus loss rate.
+//!
+//! Each cell is a sweep of independent seeded runs; set `CMH_PAR_SEEDS=1`
+//! to fan them out over threads (same numbers, less wall clock), and
+//! `CMH_BENCH_QUICK=1` for a reduced-seed smoke profile. A
+//! [`cmh_bench::record::BenchRecord`] with aggregate throughput lands in
+//! `target/experiments/bench/exp_faults.json`.
 
+use std::time::Instant;
+
+use cmh_bench::record::BenchRecord;
+use cmh_bench::sweep::seed_sweep;
 use cmh_bench::Table;
 use cmh_core::engine::ValidationError;
+use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
 use simnet::faults::FaultPlan;
 use simnet::metrics::builtin;
@@ -29,9 +40,18 @@ use simnet::time::SimTime;
 use wfg::generators;
 use workloads::{drive_schedule, random_churn, ChurnConfig};
 
-const RING_SEEDS: u64 = 40;
-const CHAOS_SEEDS: u64 = 25;
 const MAX_EVENTS: u64 = 50_000_000;
+
+/// Seed counts: the recorded profile, or a reduced smoke profile when
+/// `CMH_BENCH_QUICK` is set (CI runs the latter — tables shrink, claims
+/// still checked).
+fn seed_counts() -> (u64, u64) {
+    if std::env::var("CMH_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0") {
+        (8, 5)
+    } else {
+        (40, 25)
+    }
+}
 
 fn builder(seed: u64, plan: FaultPlan, reliable: bool) -> SimBuilder {
     let b = SimBuilder::new().seed(seed).faults(plan);
@@ -53,6 +73,30 @@ struct Score {
     corrupted: u64,
 }
 
+impl Score {
+    fn merge(&mut self, other: &Score) {
+        self.detected += other.detected;
+        self.missed += other.missed;
+        self.false_pos += other.false_pos;
+        self.corrupted += other.corrupted;
+    }
+}
+
+/// One run's contribution to the throughput record.
+struct RunStats {
+    events: u64,
+    probes: u64,
+    peak_depth: usize,
+}
+
+fn stats_of(net: &BasicNet) -> RunStats {
+    RunStats {
+        events: net.metrics().get(builtin::EVENTS),
+        probes: net.metrics().get(basic_counters::PROBE_SENT),
+        peak_depth: net.peak_queue_depth(),
+    }
+}
+
 fn score(net: &BasicNet, s: &mut Score) {
     match net.verify_soundness() {
         Ok(_) => {}
@@ -71,18 +115,25 @@ fn score(net: &BasicNet, s: &mut Score) {
     }
 }
 
-/// Part A: guaranteed ring(6) deadlock under message loss.
-fn ring_runs(loss: f64, reliable: bool) -> Score {
+/// One Part A run: guaranteed ring(6) deadlock under message loss.
+fn ring_run(seed: u64, loss: f64, reliable: bool) -> (Score, RunStats) {
+    let plan = FaultPlan::new().loss(loss);
+    let mut net =
+        BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, reliable));
+    net.request_edges(&generators::cycle(6)).unwrap();
+    net.run_to_quiescence(MAX_EVENTS);
     let mut s = Score::default();
-    for seed in 0..RING_SEEDS {
-        let plan = FaultPlan::new().loss(loss);
-        let mut net =
-            BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, reliable));
-        net.request_edges(&generators::cycle(6)).unwrap();
-        net.run_to_quiescence(MAX_EVENTS);
-        score(&net, &mut s);
+    score(&net, &mut s);
+    (s, stats_of(&net))
+}
+
+fn ring_runs(seeds: u64, loss: f64, reliable: bool, rec: &mut BenchRecord) -> Score {
+    let mut total = Score::default();
+    for (s, stats) in seed_sweep(seeds, |seed| ring_run(seed, loss, reliable)) {
+        total.merge(&s);
+        rec.add_run(stats.events, stats.probes, stats.peak_depth);
     }
-    s
+    total
 }
 
 /// The Part B fault mix: loss + duplication + reordering, plus node 1
@@ -99,82 +150,103 @@ fn chaos_plan() -> FaultPlan {
         )
 }
 
-/// Part B: churn with injected cycles under the chaos plan.
-fn chaos_runs(reliable: bool) -> Score {
+/// One Part B run: churn with injected cycles under the chaos plan.
+fn chaos_run(seed: u64, reliable: bool) -> (Score, RunStats) {
+    let sched = random_churn(&ChurnConfig {
+        n: 12,
+        duration: 4_000,
+        mean_gap: 25,
+        cycle_prob: 0.06,
+        cycle_len: 3,
+        seed,
+    });
+    let mut net = BasicNet::with_builder(
+        sched.n,
+        BasicConfig::on_block(15),
+        builder(seed, chaos_plan(), reliable),
+    );
+    drive_schedule(
+        &mut net,
+        &sched,
+        |x, at| {
+            x.run_until(at);
+        },
+        // A crashed node can neither issue nor accept work; skipping
+        // such injections keeps the driver honest in both modes.
+        |x, f, t| !x.is_crashed(f) && !x.is_crashed(t) && x.request(f, t).is_ok(),
+    );
+    net.run_to_quiescence(MAX_EVENTS);
     let mut s = Score::default();
-    for seed in 0..CHAOS_SEEDS {
-        let sched = random_churn(&ChurnConfig {
-            n: 12,
-            duration: 4_000,
-            mean_gap: 25,
-            cycle_prob: 0.06,
-            cycle_len: 3,
-            seed,
-        });
-        let mut net = BasicNet::with_builder(
-            sched.n,
-            BasicConfig::on_block(15),
-            builder(seed, chaos_plan(), reliable),
-        );
-        drive_schedule(
-            &mut net,
-            &sched,
-            |x, at| {
-                x.run_until(at);
-            },
-            // A crashed node can neither issue nor accept work; skipping
-            // such injections keeps the driver honest in both modes.
-            |x, f, t| !x.is_crashed(f) && !x.is_crashed(t) && x.request(f, t).is_ok(),
-        );
-        net.run_to_quiescence(MAX_EVENTS);
-        score(&net, &mut s);
+    score(&net, &mut s);
+    (s, stats_of(&net))
+}
+
+fn chaos_runs(seeds: u64, reliable: bool, rec: &mut BenchRecord) -> Score {
+    let mut total = Score::default();
+    for (s, stats) in seed_sweep(seeds, |seed| chaos_run(seed, reliable)) {
+        total.merge(&s);
+        rec.add_run(stats.events, stats.probes, stats.peak_depth);
     }
-    s
+    total
 }
 
 /// Part C row: overhead and latency of the reliable layer on ring(6).
+#[derive(Default)]
 struct Overhead {
     app_msgs: u64,
     retransmissions: u64,
     acks: u64,
     dropped: u64,
     duplicated: u64,
-    mean_latency: f64,
+    latency_sum: u64,
+    latency_n: u64,
 }
 
-fn overhead_runs(loss: f64) -> Overhead {
-    let (mut app, mut retx, mut acks, mut dropped, mut dup) = (0u64, 0, 0, 0, 0);
-    let mut latency_sum = 0u64;
-    let mut latency_n = 0u64;
-    for seed in 0..RING_SEEDS {
-        let plan = FaultPlan::new().loss(loss);
-        let mut net =
-            BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, true));
-        net.request_edges(&generators::cycle(6)).unwrap();
-        net.run_to_quiescence(MAX_EVENTS);
-        let m = net.metrics();
-        app += m.get(builtin::MESSAGES_SENT);
-        retx += m.get(builtin::RETRANSMISSIONS);
-        acks += m.get(builtin::ACKS_SENT);
-        dropped += m.get(builtin::MESSAGES_DROPPED);
-        dup += m.get(builtin::MESSAGES_DUPLICATED);
-        if let Some(d) = net.declarations().first() {
-            latency_sum += d.at.ticks();
-            latency_n += 1;
-        }
-    }
-    Overhead {
-        app_msgs: app,
-        retransmissions: retx,
-        acks,
-        dropped,
-        duplicated: dup,
-        mean_latency: if latency_n == 0 {
+impl Overhead {
+    fn mean_latency(&self) -> f64 {
+        if self.latency_n == 0 {
             f64::NAN
         } else {
-            latency_sum as f64 / latency_n as f64
-        },
+            self.latency_sum as f64 / self.latency_n as f64
+        }
     }
+}
+
+fn overhead_run(seed: u64, loss: f64) -> (Overhead, RunStats) {
+    let plan = FaultPlan::new().loss(loss);
+    let mut net = BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, true));
+    net.request_edges(&generators::cycle(6)).unwrap();
+    net.run_to_quiescence(MAX_EVENTS);
+    let m = net.metrics();
+    let mut o = Overhead {
+        app_msgs: m.get(builtin::MESSAGES_SENT),
+        retransmissions: m.get(builtin::RETRANSMISSIONS),
+        acks: m.get(builtin::ACKS_SENT),
+        dropped: m.get(builtin::MESSAGES_DROPPED),
+        duplicated: m.get(builtin::MESSAGES_DUPLICATED),
+        latency_sum: 0,
+        latency_n: 0,
+    };
+    if let Some(d) = net.declarations().first() {
+        o.latency_sum = d.at.ticks();
+        o.latency_n = 1;
+    }
+    (o, stats_of(&net))
+}
+
+fn overhead_runs(seeds: u64, loss: f64, rec: &mut BenchRecord) -> Overhead {
+    let mut total = Overhead::default();
+    for (o, stats) in seed_sweep(seeds, |seed| overhead_run(seed, loss)) {
+        total.app_msgs += o.app_msgs;
+        total.retransmissions += o.retransmissions;
+        total.acks += o.acks;
+        total.dropped += o.dropped;
+        total.duplicated += o.duplicated;
+        total.latency_sum += o.latency_sum;
+        total.latency_n += o.latency_n;
+        rec.add_run(stats.events, stats.probes, stats.peak_depth);
+    }
+    total
 }
 
 fn transport(reliable: bool) -> &'static str {
@@ -186,9 +258,12 @@ fn transport(reliable: bool) -> &'static str {
 }
 
 fn main() {
+    let started = Instant::now();
+    let mut rec = BenchRecord::new("exp_faults");
+    let (ring_seeds, chaos_seeds) = seed_counts();
     println!("# E12: fault injection vs the reliable transport\n");
 
-    println!("## Part A: ring(6) deadlock under message loss ({RING_SEEDS} seeds per cell)\n");
+    println!("## Part A: ring(6) deadlock under message loss ({ring_seeds} seeds per cell)\n");
     let mut a = Table::new([
         "loss rate",
         "transport",
@@ -198,7 +273,7 @@ fn main() {
     ]);
     for &loss in &[0.0, 0.05, 0.10, 0.20] {
         for reliable in [false, true] {
-            let s = ring_runs(loss, reliable);
+            let s = ring_runs(ring_seeds, loss, reliable, &mut rec);
             a.row([
                 format!("{:.0}%", loss * 100.0),
                 transport(reliable).to_string(),
@@ -211,7 +286,7 @@ fn main() {
     a.print();
 
     println!(
-        "\n## Part B: chaos Monte-Carlo ({CHAOS_SEEDS} seeds; churn + injected cycles;\n\
+        "\n## Part B: chaos Monte-Carlo ({chaos_seeds} seeds; churn + injected cycles;\n\
          loss 10%, dup 5%, reorder 10%, node 1 crash at t=1500, restart t=2100)\n"
     );
     let mut b = Table::new([
@@ -223,7 +298,7 @@ fn main() {
     ]);
     let mut reliable_clean = true;
     for reliable in [false, true] {
-        let s = chaos_runs(reliable);
+        let s = chaos_runs(chaos_seeds, reliable, &mut rec);
         if reliable && (s.missed > 0 || s.false_pos > 0 || s.corrupted > 0) {
             reliable_clean = false;
         }
@@ -237,7 +312,7 @@ fn main() {
     }
     b.print();
 
-    println!("\n## Part C: the price of the repair (ring(6), reliable on, {RING_SEEDS} seeds)\n");
+    println!("\n## Part C: the price of the repair (ring(6), reliable on, {ring_seeds} seeds)\n");
     let mut c = Table::new([
         "loss rate",
         "app msgs",
@@ -249,7 +324,7 @@ fn main() {
         "mean detection latency (ticks)",
     ]);
     for &loss in &[0.0, 0.05, 0.10, 0.20] {
-        let o = overhead_runs(loss);
+        let o = overhead_runs(ring_seeds, loss, &mut rec);
         c.row([
             format!("{:.0}%", loss * 100.0),
             o.app_msgs.to_string(),
@@ -258,7 +333,7 @@ fn main() {
             o.dropped.to_string(),
             o.duplicated.to_string(),
             format!("{:.3}", o.retransmissions as f64 / o.app_msgs as f64),
-            format!("{:.1}", o.mean_latency),
+            format!("{:.1}", o.mean_latency()),
         ]);
     }
     c.print();
@@ -271,4 +346,5 @@ fn main() {
     } else {
         println!("claim check: FAIL — violations observed with the reliable layer on.");
     }
+    rec.finish(started);
 }

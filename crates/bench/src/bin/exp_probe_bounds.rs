@@ -5,9 +5,21 @@
 //! edges — and by N on the single-cycle topologies where out-degrees are 1.
 //! This binary measures the actual maximum probes per computation across
 //! topologies and sizes.
+//!
+//! The topologies are independent seeded runs; set `CMH_PAR_SEEDS=1` to
+//! sweep them on parallel threads (identical table, less wall clock), and
+//! `CMH_BENCH_QUICK=1` to skip the largest sizes (CI smoke profile). A
+//! [`cmh_bench::record::BenchRecord`] with aggregate throughput lands in
+//! `target/experiments/bench/exp_probe_bounds.json`.
 
+use std::time::Instant;
+
+use cmh_bench::record::BenchRecord;
+use cmh_bench::sweep::sweep_map;
 use cmh_bench::Table;
+use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet, ProbeTag};
+use simnet::metrics::builtin;
 use simnet::sim::NodeId;
 use std::collections::BTreeMap;
 use wfg::generators::Topology;
@@ -22,7 +34,15 @@ fn probes_per_computation(net: &BasicNet) -> BTreeMap<ProbeTag, u64> {
     per_tag
 }
 
-fn run(topology: &Topology, label: &str, table: &mut Table) {
+/// One topology's table row plus its contribution to the bench record.
+struct RunResult {
+    row: [String; 7],
+    events: u64,
+    probes: u64,
+    peak_depth: usize,
+}
+
+fn run(topology: &Topology, label: &str) -> RunResult {
     let n = topology.vertex_count();
     let edges = topology.edges();
     let mut net = BasicNet::new(n, BasicConfig::on_block(4), 42);
@@ -34,29 +54,64 @@ fn run(topology: &Topology, label: &str, table: &mut Table) {
     let max_probes = per_tag.values().copied().max().unwrap_or(0);
     let computations = per_tag.len();
     let total: u64 = per_tag.values().sum();
-    table.row([
-        label.to_string(),
-        n.to_string(),
-        edges.len().to_string(),
-        computations.to_string(),
-        max_probes.to_string(),
-        (if max_probes <= edges.len() as u64 {
-            "yes"
-        } else {
-            "NO"
-        })
-        .to_string(),
-        total.to_string(),
-    ]);
     assert!(
         max_probes <= edges.len() as u64,
         "{label}: bound violated: {max_probes} > E={}",
         edges.len()
     );
+    RunResult {
+        row: [
+            label.to_string(),
+            n.to_string(),
+            edges.len().to_string(),
+            computations.to_string(),
+            max_probes.to_string(),
+            (if max_probes <= edges.len() as u64 {
+                "yes"
+            } else {
+                "NO"
+            })
+            .to_string(),
+            total.to_string(),
+        ],
+        events: net.metrics().get(builtin::EVENTS),
+        probes: net.metrics().get(basic_counters::PROBE_SENT),
+        peak_depth: net.peak_queue_depth(),
+    }
 }
 
 fn main() {
+    let started = Instant::now();
+    let mut rec = BenchRecord::new("exp_probe_bounds");
+    let quick = std::env::var("CMH_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+
     println!("# E1: probes per computation vs the edge bound (seed 42)\n");
+    let mut cases: Vec<(Topology, String)> = Vec::new();
+    let cycle_sizes: &[usize] = if quick {
+        &[4, 8, 16, 32]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256, 512]
+    };
+    for &n in cycle_sizes {
+        cases.push((Topology::Cycle { n }, format!("cycle({n})")));
+    }
+    for n in [4usize, 8, 16] {
+        cases.push((Topology::Complete { n }, format!("complete({n})")));
+    }
+    for (c, tl, k) in [(4usize, 2usize, 2usize), (8, 4, 4), (16, 8, 8)] {
+        cases.push((
+            Topology::CycleWithTails {
+                cycle_len: c,
+                tail_len: tl,
+                n_tails: k,
+            },
+            format!("cyc+tails({c},{tl},{k})"),
+        ));
+    }
+    for (n, p, seed) in [(32usize, 0.05, 7u64), (64, 0.03, 7), (128, 0.02, 7)] {
+        cases.push((Topology::Random { n, p, seed }, format!("random({n},{p})")));
+    }
+
     let mut t = Table::new([
         "topology",
         "N",
@@ -66,31 +121,12 @@ fn main() {
         "<= E?",
         "total probes",
     ]);
-    for n in [4usize, 8, 16, 32, 64, 128, 256, 512] {
-        run(&Topology::Cycle { n }, &format!("cycle({n})"), &mut t);
-    }
-    for n in [4usize, 8, 16] {
-        run(&Topology::Complete { n }, &format!("complete({n})"), &mut t);
-    }
-    for (c, tl, k) in [(4usize, 2usize, 2usize), (8, 4, 4), (16, 8, 8)] {
-        run(
-            &Topology::CycleWithTails {
-                cycle_len: c,
-                tail_len: tl,
-                n_tails: k,
-            },
-            &format!("cyc+tails({c},{tl},{k})"),
-            &mut t,
-        );
-    }
-    for (n, p, seed) in [(32usize, 0.05, 7u64), (64, 0.03, 7), (128, 0.02, 7)] {
-        run(
-            &Topology::Random { n, p, seed },
-            &format!("random({n},{p})"),
-            &mut t,
-        );
+    for r in sweep_map(cases, |(topology, label)| run(&topology, &label)) {
+        t.row(r.row);
+        rec.add_run(r.events, r.probes, r.peak_depth);
     }
     t.print();
     println!("claim check: on cycle(N) the max probes per computation equals N (one per edge);");
     println!("on every topology it never exceeds E. PASS");
+    rec.finish(started);
 }

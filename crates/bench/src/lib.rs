@@ -25,6 +25,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod record;
+pub mod sweep;
+
 use simnet::sim::NodeId;
 use simnet::time::SimTime;
 use wfg::journal::Journal;

@@ -1,0 +1,157 @@
+//! Machine-readable benchmark records for the experiment binaries.
+//!
+//! Each instrumented `exp_*` binary aggregates a [`BenchRecord`] over all
+//! its simulation runs — wall time, simulator events executed, probes
+//! sent, and the scheduler's peak event-queue depth — and writes it as a
+//! single JSON object to `target/experiments/bench/<experiment>.json`.
+//! `scripts/run_experiments.sh` then assembles every record into
+//! `target/experiments/BENCH_sim.json`, giving the repo a recorded
+//! throughput trajectory across commits.
+//!
+//! The JSON is emitted by hand: the workspace's vendored `serde` shim has
+//! no-op derives, so nothing here relies on serialization machinery.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One experiment's aggregate performance record.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRecord {
+    /// Experiment name (`exp_probe_bounds`, ...); also the file stem.
+    pub experiment: String,
+    /// Wall-clock time of the whole binary, in milliseconds.
+    pub wall_ms: f64,
+    /// Total simulator events executed across all runs.
+    pub events: u64,
+    /// Total probes sent across all runs (0 where not applicable).
+    pub probes: u64,
+    /// Number of simulation runs aggregated.
+    pub runs: u64,
+    /// Maximum peak event-queue depth observed over all runs.
+    pub peak_queue_depth: usize,
+    /// Whether the runs were fanned out over threads (`CMH_PAR_SEEDS`).
+    pub parallel: bool,
+}
+
+impl BenchRecord {
+    /// Creates an empty record for `experiment`.
+    pub fn new(experiment: &str) -> Self {
+        BenchRecord {
+            experiment: experiment.to_string(),
+            parallel: crate::sweep::parallel_enabled(),
+            ..BenchRecord::default()
+        }
+    }
+
+    /// Folds one simulation run's counters into the record.
+    pub fn add_run(&mut self, events: u64, probes: u64, peak_queue_depth: usize) {
+        self.runs += 1;
+        self.events += events;
+        self.probes += probes;
+        self.peak_queue_depth = self.peak_queue_depth.max(peak_queue_depth);
+    }
+
+    /// Events executed per wall-clock second (0 when no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        rate(self.events, self.wall_ms)
+    }
+
+    /// Probes sent per wall-clock second (0 when no time elapsed).
+    pub fn probes_per_sec(&self) -> f64 {
+        rate(self.probes, self.wall_ms)
+    }
+
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"experiment\": \"{}\",", self.experiment);
+        let _ = writeln!(s, "  \"wall_ms\": {:.3},", self.wall_ms);
+        let _ = writeln!(s, "  \"runs\": {},", self.runs);
+        let _ = writeln!(s, "  \"events\": {},", self.events);
+        let _ = writeln!(s, "  \"probes\": {},", self.probes);
+        let _ = writeln!(s, "  \"events_per_sec\": {:.1},", self.events_per_sec());
+        let _ = writeln!(s, "  \"probes_per_sec\": {:.1},", self.probes_per_sec());
+        let _ = writeln!(s, "  \"peak_queue_depth\": {},", self.peak_queue_depth);
+        let _ = writeln!(s, "  \"parallel\": {}", self.parallel);
+        s.push('}');
+        s
+    }
+
+    /// Writes the record to `<dir>/<experiment>.json`, creating `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Stamps `started.elapsed()` into `wall_ms` and writes the record to
+    /// the default `target/experiments/bench/` directory, printing where
+    /// it landed. Errors are reported to stderr, never fatal: a read-only
+    /// target dir must not fail an experiment.
+    pub fn finish(mut self, started: Instant) {
+        self.wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        let dir = Path::new("target/experiments/bench");
+        match self.write_to(dir) {
+            Ok(path) => println!("\nbench record: {}", path.display()),
+            Err(e) => eprintln!("bench record not written ({e})"),
+        }
+    }
+}
+
+fn rate(count: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        count as f64 / (wall_ms / 1_000.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_rates() {
+        let mut r = BenchRecord::new("exp_test");
+        r.add_run(1_000, 50, 10);
+        r.add_run(3_000, 150, 25);
+        r.wall_ms = 2_000.0;
+        assert_eq!(r.runs, 2);
+        assert_eq!(r.events, 4_000);
+        assert_eq!(r.peak_queue_depth, 25);
+        assert_eq!(r.events_per_sec(), 2_000.0);
+        assert_eq!(r.probes_per_sec(), 100.0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut r = BenchRecord::new("exp_test");
+        r.add_run(10, 1, 3);
+        r.wall_ms = 1.5;
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"experiment\": \"exp_test\""));
+        assert!(j.contains("\"peak_queue_depth\": 3"));
+        // No trailing comma before the closing brace.
+        assert!(!j.contains(",\n}"));
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("cmh_bench_record_test");
+        let mut r = BenchRecord::new("exp_unit");
+        r.add_run(5, 0, 1);
+        r.wall_ms = 0.5;
+        let path = r.write_to(&dir).expect("writable temp dir");
+        let body = std::fs::read_to_string(&path).expect("file exists");
+        assert!(body.contains("\"runs\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -202,6 +202,12 @@ impl BasicNet {
         self.sim.metrics()
     }
 
+    /// High-water mark of the scheduler's event queue (see
+    /// [`Simulation::peak_queue_depth`]).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.sim.peak_queue_depth()
+    }
+
     /// The trace (enable via [`BasicNet::with_builder`]).
     pub fn trace(&self) -> &Trace {
         self.sim.trace()

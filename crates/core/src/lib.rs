@@ -71,6 +71,7 @@ pub mod live;
 pub mod ormodel;
 pub mod probe;
 pub mod process;
+pub mod vset;
 pub mod wfgd;
 
 pub use config::{BasicConfig, ForwardPolicy, InitiationPolicy, ReplyPolicy};

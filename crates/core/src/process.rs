@@ -21,7 +21,8 @@
 //! for *validation only* and is never read by the algorithm.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
@@ -31,6 +32,7 @@ use wfg::journal::{GraphOp, Journal};
 
 use crate::config::{BasicConfig, ForwardPolicy, InitiationPolicy, ReplyPolicy};
 use crate::probe::{DeadlockReport, ProbeTag};
+use crate::vset::VecSet;
 use crate::wfgd::{EdgeSet, WfgdState};
 
 /// Messages of the basic model: the underlying computation's requests and
@@ -105,32 +107,38 @@ const TAG_DELAYED_INIT: u64 = 1;
 pub struct BasicProcess {
     cfg: BasicConfig,
     /// Targets of this process's outstanding requests (its outgoing edges).
-    out_waits: BTreeSet<NodeId>,
+    out_waits: VecSet<NodeId>,
     /// Requesters whose request was received and not yet answered (this
     /// process's incoming black edges).
-    in_black: BTreeSet<NodeId>,
+    in_black: VecSet<NodeId>,
     /// Number of probe computations this vertex has initiated.
     own_n: u64,
     /// §4.3 state: latest computation seen per foreign initiator, plus
-    /// whether A2 has already run for it. At most one entry per vertex in
-    /// the system — the O(N) bound.
-    latest: BTreeMap<NodeId, (u64, bool)>,
-    /// High-water mark of `latest.len()`, for experiment E3.
+    /// whether A2 has already run for it — the paper's O(N) array,
+    /// stored literally as one dense slot per possible initiator.
+    latest: Vec<Option<(u64, bool)>>,
+    /// Number of `Some` entries in `latest`.
+    tracked: usize,
+    /// High-water mark of `tracked`, for experiment E3.
     latest_high_water: usize,
     /// All declarations made by this vertex (step A1).
     declarations: Vec<DeadlockReport>,
     wfgd: WfgdState,
-    /// Bumped on every request to a target; lets delayed-initiation timers
-    /// detect that "their" edge was deleted and a new one created.
-    wait_epoch: BTreeMap<NodeId, u64>,
+    /// Bumped on every request to a target (dense, indexed by target); lets
+    /// delayed-initiation timers detect that "their" edge was deleted and a
+    /// new one created.
+    wait_epoch: Vec<u64>,
     delayed_timers: HashMap<TimerId, (NodeId, u64)>,
     serve_timer_pending: bool,
     /// Shared mutation journal (validation only — never read here).
     journal: Option<Rc<RefCell<Journal>>>,
     /// Probes sent per computation, for experiments E1/E3.
     probes_sent_per_tag: BTreeMap<ProbeTag, u64>,
-    /// At-most-one-probe-per-edge-per-computation invariant tracking.
-    probe_edges_used: BTreeSet<(ProbeTag, NodeId)>,
+    /// At-most-one-probe-per-edge-per-computation invariant tracking:
+    /// per initiator, the computation number last probed and the edges
+    /// used for it. Superseded computations are dropped, so the ledger is
+    /// bounded by N × degree instead of growing with every computation.
+    probe_edges_used: BTreeMap<NodeId, (u64, VecSet<NodeId>)>,
 }
 
 impl fmt::Debug for BasicProcess {
@@ -149,19 +157,20 @@ impl BasicProcess {
     pub fn new(cfg: BasicConfig) -> Self {
         BasicProcess {
             cfg,
-            out_waits: BTreeSet::new(),
-            in_black: BTreeSet::new(),
+            out_waits: VecSet::new(),
+            in_black: VecSet::new(),
             own_n: 0,
-            latest: BTreeMap::new(),
+            latest: Vec::new(),
+            tracked: 0,
             latest_high_water: 0,
             declarations: Vec::new(),
             wfgd: WfgdState::new(),
-            wait_epoch: BTreeMap::new(),
+            wait_epoch: Vec::new(),
             delayed_timers: HashMap::new(),
             serve_timer_pending: false,
             journal: None,
             probes_sent_per_tag: BTreeMap::new(),
-            probe_edges_used: BTreeSet::new(),
+            probe_edges_used: BTreeMap::new(),
         }
     }
 
@@ -194,9 +203,11 @@ impl BasicProcess {
             return Err(RequestError::AlreadyWaiting { target });
         }
         self.out_waits.insert(target);
-        let epoch = self.wait_epoch.entry(target).or_insert(0);
-        *epoch += 1;
-        let epoch = *epoch;
+        if self.wait_epoch.len() <= target.0 {
+            self.wait_epoch.resize(target.0 + 1, 0);
+        }
+        self.wait_epoch[target.0] += 1;
+        let epoch = self.wait_epoch[target.0];
         self.record(ctx, GraphOp::CreateGrey(me, target));
         ctx.count(counters::REQUEST_SENT);
         ctx.send(target, BasicMsg::Request);
@@ -221,7 +232,10 @@ impl BasicProcess {
         self.own_n += 1;
         let tag = ProbeTag::new(ctx.id(), self.own_n);
         ctx.count(counters::INITIATED);
-        for target in self.out_waits.clone() {
+        // Indexed walk: `send_probe` never touches `out_waits`, so the
+        // slice is stable and no defensive clone is needed.
+        for i in 0..self.out_waits.len() {
+            let target = self.out_waits.as_slice()[i];
             self.send_probe(ctx, tag, target);
         }
     }
@@ -233,11 +247,7 @@ impl BasicProcess {
         if !self.out_waits.is_empty() {
             return 0;
         }
-        let pending: Vec<NodeId> = self.in_black.iter().copied().collect();
-        for requester in &pending {
-            self.reply_to(ctx, *requester);
-        }
-        pending.len()
+        self.reply_all_pending(ctx)
     }
 
     // ----- accessors -----
@@ -247,13 +257,15 @@ impl BasicProcess {
         !self.out_waits.is_empty()
     }
 
-    /// Targets of outstanding requests (this vertex's outgoing edges).
-    pub fn out_waits(&self) -> &BTreeSet<NodeId> {
+    /// Targets of outstanding requests (this vertex's outgoing edges),
+    /// in ascending order.
+    pub fn out_waits(&self) -> &VecSet<NodeId> {
         &self.out_waits
     }
 
-    /// Requesters not yet replied to (this vertex's incoming black edges).
-    pub fn in_black(&self) -> &BTreeSet<NodeId> {
+    /// Requesters not yet replied to (this vertex's incoming black edges),
+    /// in ascending order.
+    pub fn in_black(&self) -> &VecSet<NodeId> {
         &self.in_black
     }
 
@@ -285,7 +297,7 @@ impl BasicProcess {
 
     /// Current number of tracked foreign computations (§4.3 state).
     pub fn tracked_computations(&self) -> usize {
-        self.latest.len()
+        self.tracked
     }
 
     /// High-water mark of tracked foreign computations (experiment E3).
@@ -302,7 +314,22 @@ impl BasicProcess {
     }
 
     fn send_probe(&mut self, ctx: &mut Context<'_, BasicMsg>, tag: ProbeTag, to: NodeId) {
-        let first_use = self.probe_edges_used.insert((tag, to));
+        let ledger = self
+            .probe_edges_used
+            .entry(tag.initiator)
+            .or_insert_with(|| (tag.n, VecSet::new()));
+        let first_use = match tag.n.cmp(&ledger.0) {
+            Ordering::Greater => {
+                // A newer computation supersedes the old ledger entry.
+                ledger.0 = tag.n;
+                ledger.1.clear();
+                ledger.1.insert(to)
+            }
+            Ordering::Equal => ledger.1.insert(to),
+            // A2's supersession check never forwards an older computation,
+            // so this arm is unreachable; treat it as satisfied.
+            Ordering::Less => true,
+        };
         debug_assert!(
             first_use || self.cfg.forward == ForwardPolicy::EveryMeaningful,
             "invariant violated: second probe of {tag} on edge to {to}"
@@ -312,16 +339,26 @@ impl BasicProcess {
         ctx.send(to, BasicMsg::Probe(tag));
     }
 
-    fn reply_to(&mut self, ctx: &mut Context<'_, BasicMsg>, requester: NodeId) {
+    /// Replies to every pending requester, in ascending order. The caller
+    /// has already established that this process is active (G3).
+    fn reply_all_pending(&mut self, ctx: &mut Context<'_, BasicMsg>) -> usize {
         debug_assert!(
             self.out_waits.is_empty(),
             "G3: blocked process cannot reply"
         );
-        debug_assert!(self.in_black.contains(&requester));
-        self.in_black.remove(&requester);
-        self.record(ctx, GraphOp::Whiten(requester, ctx.id()));
-        ctx.count(counters::REPLY_SENT);
-        ctx.send(requester, BasicMsg::Reply);
+        let me = ctx.id();
+        // Take the set instead of cloning it; the buffer is handed back
+        // below so the allocation is recycled across serve rounds.
+        let mut pending = std::mem::take(&mut self.in_black);
+        for &requester in pending.iter() {
+            self.record(ctx, GraphOp::Whiten(requester, me));
+            ctx.count(counters::REPLY_SENT);
+            ctx.send(requester, BasicMsg::Reply);
+        }
+        let served = pending.len();
+        pending.clear();
+        self.in_black = pending;
+        served
     }
 
     fn schedule_serve_if_needed(&mut self, ctx: &mut Context<'_, BasicMsg>) {
@@ -348,9 +385,11 @@ impl BasicProcess {
                 };
                 self.declarations.push(report);
                 ctx.count(counters::DECLARED);
-                ctx.note(format!(
-                    "DECLARE deadlock: {me} on black cycle, computation {tag}"
-                ));
+                if ctx.tracing() {
+                    ctx.note(format!(
+                        "DECLARE deadlock: {me} on black cycle, computation {tag}"
+                    ));
+                }
                 // §5: begin the WFGD propagation along incoming black edges.
                 let msgs = self.wfgd.start(me, self.in_black.iter().copied());
                 for (to, set) in msgs {
@@ -363,16 +402,25 @@ impl BasicProcess {
         // A2 for a foreign computation: act on the *first* meaningful probe
         // of the latest computation of each initiator (unless the ablation
         // forwarding policy is in force).
-        let entry = self.latest.entry(tag.initiator).or_insert((0, false));
-        let already_forwarded = tag.n == entry.0 && entry.1;
-        if tag.n < entry.0
+        let idx = tag.initiator.0;
+        if self.latest.len() <= idx {
+            self.latest.resize(idx + 1, None);
+        }
+        let slot = &mut self.latest[idx];
+        let (seen_n, forwarded) = slot.unwrap_or((0, false));
+        let already_forwarded = tag.n == seen_n && forwarded;
+        if tag.n < seen_n
             || (already_forwarded && self.cfg.forward == ForwardPolicy::FirstMeaningful)
         {
             return; // superseded, or already forwarded
         }
-        *entry = (tag.n, true);
-        self.latest_high_water = self.latest_high_water.max(self.latest.len());
-        for target in self.out_waits.clone() {
+        if slot.is_none() {
+            self.tracked += 1;
+        }
+        *slot = Some((tag.n, true));
+        self.latest_high_water = self.latest_high_water.max(self.tracked);
+        for i in 0..self.out_waits.len() {
+            let target = self.out_waits.as_slice()[i];
             self.send_probe(ctx, tag, target);
         }
     }
@@ -423,10 +471,7 @@ impl Process<BasicMsg> for BasicProcess {
             TAG_SERVE => {
                 self.serve_timer_pending = false;
                 if self.out_waits.is_empty() {
-                    let pending: Vec<NodeId> = self.in_black.iter().copied().collect();
-                    for requester in pending {
-                        self.reply_to(ctx, requester);
-                    }
+                    self.reply_all_pending(ctx);
                 }
                 // If blocked, the serve is retried when this process
                 // becomes active again (on Reply receipt).
@@ -434,7 +479,7 @@ impl Process<BasicMsg> for BasicProcess {
             TAG_DELAYED_INIT => {
                 if let Some((target, epoch)) = self.delayed_timers.remove(&timer) {
                     let still_waiting = self.out_waits.contains(&target)
-                        && self.wait_epoch.get(&target) == Some(&epoch);
+                        && self.wait_epoch.get(target.0).copied() == Some(epoch);
                     if still_waiting {
                         // §4.3: the edge persisted for T ticks — initiate.
                         self.initiate(ctx);
@@ -459,6 +504,7 @@ impl Process<BasicMsg> for BasicProcess {
     /// after restart, so its fresh computation finds the cycle again).
     fn on_restart(&mut self, ctx: &mut Context<'_, BasicMsg>) {
         self.latest.clear();
+        self.tracked = 0;
         self.probe_edges_used.clear();
         // All timers armed before the crash are gone; forget their
         // bookkeeping so late firings are ignored, then re-arm.
@@ -471,8 +517,9 @@ impl Process<BasicMsg> for BasicProcess {
         match self.cfg.initiation {
             InitiationPolicy::OnBlock => self.initiate(ctx),
             InitiationPolicy::Delayed { t } => {
-                for target in self.out_waits.clone() {
-                    let epoch = self.wait_epoch.get(&target).copied().unwrap_or(0);
+                for i in 0..self.out_waits.len() {
+                    let target = self.out_waits.as_slice()[i];
+                    let epoch = self.wait_epoch.get(target.0).copied().unwrap_or(0);
                     let id = ctx.set_timer(t, TAG_DELAYED_INIT);
                     self.delayed_timers.insert(id, (target, epoch));
                 }

@@ -1,0 +1,183 @@
+//! Compact sorted-vec sets for the detectors' hot state.
+//!
+//! The per-vertex sets the algorithm consults on every probe — `out_waits`,
+//! `in_black`, the lock table's blocker sets — hold a handful of small ids
+//! (node, transaction), are read far more often than written, and must
+//! iterate in a **deterministic sorted order** (probe send order feeds the
+//! golden-determinism digests). A `BTreeSet` satisfies the ordering but
+//! pays a node allocation per element and pointer-chasing per lookup;
+//! [`VecSet`] keeps the elements in one sorted `Vec`, so
+//!
+//! * `contains` is a binary search over contiguous memory,
+//! * iteration is a slice walk (and `as_slice` lets callers iterate by
+//!   index while mutating *other* fields, eliminating the defensive
+//!   `clone()`s the probe-propagation path used to make), and
+//! * `clear`/refill recycles the allocation.
+//!
+//! Inserts and removes are `O(len)` memmoves — the right trade for sets
+//! bounded by a vertex's degree.
+
+use std::fmt;
+
+/// A set of `Copy + Ord` ids stored as a sorted vector.
+///
+/// # Examples
+///
+/// ```
+/// use cmh_core::vset::VecSet;
+///
+/// let mut s = VecSet::new();
+/// assert!(s.insert(3) && s.insert(1) && !s.insert(3));
+/// assert_eq!(s.as_slice(), &[1, 3]);
+/// assert!(s.contains(&3) && !s.contains(&2));
+/// assert!(s.remove(&3) && !s.remove(&3));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct VecSet<T> {
+    items: Vec<T>,
+}
+
+impl<T: Copy + Ord> VecSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        VecSet { items: Vec::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if `value` is in the set (binary search).
+    pub fn contains(&self, value: &T) -> bool {
+        self.items.binary_search(value).is_ok()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        match self.items.binary_search(&value) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, value);
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.items.binary_search(value) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// The elements in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// The elements as a sorted slice — stable to index while mutating
+    /// other fields of the owner.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for VecSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.items.iter()).finish()
+    }
+}
+
+impl<'a, T: Copy + Ord> IntoIterator for &'a VecSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T: Copy + Ord> FromIterator<T> for VecSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut items: Vec<T> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        VecSet { items }
+    }
+}
+
+impl<T: Copy + Ord> Extend<T> for VecSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_sorted_unique_order() {
+        let mut s = VecSet::new();
+        for v in [5, 1, 3, 1, 5, 2, 4] {
+            s.insert(v);
+        }
+        assert_eq!(s.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.first(), Some(&1));
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let s: VecSet<u32> = [3, 1, 3, 2, 2].into_iter().collect();
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_btreeset_under_random_mix() {
+        use std::collections::BTreeSet;
+        let mut s = VecSet::new();
+        let mut model = BTreeSet::new();
+        let mut state = 12345u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32 % 32
+        };
+        for _ in 0..2_000 {
+            let v = rnd();
+            if v % 3 == 0 {
+                assert_eq!(s.remove(&v), model.remove(&v));
+            } else {
+                assert_eq!(s.insert(v), model.insert(v));
+            }
+            assert_eq!(s.contains(&v), model.contains(&v));
+            assert_eq!(s.len(), model.len());
+        }
+        assert_eq!(
+            s.iter().copied().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
+    }
+}

@@ -318,7 +318,7 @@ impl Controller {
         if self.declared_txns.contains(&subject) {
             return false;
         }
-        let blocked_locally = self.locks.waiting_transactions().contains(&subject);
+        let blocked_locally = self.locks.is_waiting_anywhere(subject);
         let blocked_remotely = self
             .remote_waits
             .get(&subject)
@@ -377,7 +377,9 @@ impl Controller {
                 st.status = TxnStatus::Committed;
                 st.finished_at = Some(ctx.now());
                 ctx.count(counters::COMMITTED);
-                ctx.note(format!("{id} committed"));
+                if ctx.tracing() {
+                    ctx.note(format!("{id} committed"));
+                }
                 self.release_everything(ctx, id);
                 return;
             };
@@ -555,7 +557,9 @@ impl Controller {
         st.waiting = Waiting::None;
         st.epoch += 1;
         ctx.count(counters::ABORTED);
-        ctx.note(format!("{id} aborted for deadlock resolution"));
+        if ctx.tracing() {
+            ctx.note(format!("{id} aborted for deadlock resolution"));
+        }
         self.release_everything(ctx, id);
         // The victim is no longer deadlocked; allow future declarations if
         // its restart deadlocks again.
@@ -636,10 +640,12 @@ impl Controller {
         let t = tail.txn;
         // Meaningful iff the inter-controller edge exists and is black: we
         // hold an un-granted remote request for `t` from `tail.site` (P3).
+        // `pending_remote` is keyed `(txn, resource)`, so `t`'s entries form
+        // one contiguous range — no full-map scan.
         let meaningful = self
             .pending_remote
-            .iter()
-            .any(|(&(pt, _), &origin)| pt == t && origin == tail.site);
+            .range((t, ResourceId(0))..=(t, ResourceId(u64::MAX)))
+            .any(|(_, &origin)| origin == tail.site);
         if !meaningful {
             ctx.count(counters::PROBE_DISCARDED);
             return;
@@ -726,7 +732,9 @@ impl Controller {
         };
         self.declarations.push(d);
         ctx.count(counters::DECLARED);
-        ctx.note(format!("DECLARE {d}"));
+        if ctx.tracing() {
+            ctx.note(format!("DECLARE {d}"));
+        }
         // §5: disseminate the deadlocked portion backwards from the subject.
         let topo = self.wfgd_topology();
         let sends = self.wfgd.start(self.site, subject, &topo);

@@ -22,6 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+use cmh_core::vset::VecSet;
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{ResourceId, TransactionId};
@@ -99,6 +100,34 @@ impl Entry {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LockTable {
     entries: BTreeMap<ResourceId, Entry>,
+    /// Reverse index: the resources each transaction is queued for. Keeps
+    /// [`LockTable::reachable_from`] — the probe hot path — from scanning
+    /// every entry; maps with no resources are removed, so the key set is
+    /// exactly the waiting transactions.
+    waiting_in: BTreeMap<TransactionId, VecSet<ResourceId>>,
+    /// Reverse index: the resources each transaction holds.
+    holding_in: BTreeMap<TransactionId, VecSet<ResourceId>>,
+}
+
+fn index_insert(
+    map: &mut BTreeMap<TransactionId, VecSet<ResourceId>>,
+    txn: TransactionId,
+    resource: ResourceId,
+) {
+    map.entry(txn).or_default().insert(resource);
+}
+
+fn index_remove(
+    map: &mut BTreeMap<TransactionId, VecSet<ResourceId>>,
+    txn: TransactionId,
+    resource: ResourceId,
+) {
+    if let Some(s) = map.get_mut(&txn) {
+        s.remove(&resource);
+        if s.is_empty() {
+            map.remove(&txn);
+        }
+    }
 }
 
 impl LockTable {
@@ -141,23 +170,26 @@ impl LockTable {
             // requests they would conflict with anyway.
             e.queue.push_front((txn, LockMode::Exclusive));
             let waits_for = Self::blockers_of(e, 0);
+            index_insert(&mut self.waiting_in, txn, resource);
             return LockOutcome::Queued { waits_for };
         }
         if e.queue.is_empty() && e.compatible_with_holders(txn, mode) {
             e.holders.insert(txn, mode);
+            index_insert(&mut self.holding_in, txn, resource);
             return LockOutcome::Granted;
         }
         e.queue.push_back((txn, mode));
         let pos = e.queue.len() - 1;
         let waits_for = Self::blockers_of(e, pos);
+        index_insert(&mut self.waiting_in, txn, resource);
         LockOutcome::Queued { waits_for }
     }
 
     /// Transactions blocking the queue entry at `pos`: conflicting holders
-    /// plus conflicting waiters ahead of it.
+    /// plus conflicting waiters ahead of it, in ascending id order.
     fn blockers_of(e: &Entry, pos: usize) -> Vec<TransactionId> {
         let (txn, mode) = e.queue[pos];
-        let mut out: BTreeSet<TransactionId> = e
+        let mut out: Vec<TransactionId> = e
             .holders
             .iter()
             .filter(|&(&h, &hm)| h != txn && !mode.compatible(hm))
@@ -165,10 +197,12 @@ impl LockTable {
             .collect();
         for &(ahead, ahead_mode) in e.queue.iter().take(pos) {
             if ahead != txn && !(mode.compatible(ahead_mode)) {
-                out.insert(ahead);
+                out.push(ahead);
             }
         }
-        out.into_iter().collect()
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Releases `txn`'s lock on `resource` (and removes any queued request
@@ -188,6 +222,12 @@ impl LockTable {
         if e.holders.is_empty() && e.queue.is_empty() {
             self.entries.remove(&resource);
         }
+        index_remove(&mut self.holding_in, txn, resource);
+        index_remove(&mut self.waiting_in, txn, resource);
+        for &(t, _) in &granted {
+            index_remove(&mut self.waiting_in, t, resource);
+            index_insert(&mut self.holding_in, t, resource);
+        }
         granted
     }
 
@@ -197,12 +237,21 @@ impl LockTable {
         &mut self,
         txn: TransactionId,
     ) -> Vec<(ResourceId, Vec<(TransactionId, LockMode)>)> {
-        let resources: Vec<ResourceId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.holders.contains_key(&txn) || e.queue.iter().any(|&(t, _)| t == txn))
-            .map(|(&r, _)| r)
-            .collect();
+        // Merge the two reverse indexes: everything held or waited for,
+        // in ascending resource order (the order the entry scan used).
+        let held = self
+            .holding_in
+            .get(&txn)
+            .map(VecSet::as_slice)
+            .unwrap_or(&[]);
+        let waited = self
+            .waiting_in
+            .get(&txn)
+            .map(VecSet::as_slice)
+            .unwrap_or(&[]);
+        let mut resources: Vec<ResourceId> = held.iter().chain(waited).copied().collect();
+        resources.sort_unstable();
+        resources.dedup();
         resources
             .into_iter()
             .map(|r| {
@@ -229,20 +278,25 @@ impl LockTable {
         granted
     }
 
-    /// Resources currently held by `txn`.
+    /// Resources currently held by `txn`, in ascending order.
     pub fn held_by(&self, txn: TransactionId) -> Vec<ResourceId> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.holders.contains_key(&txn))
-            .map(|(&r, _)| r)
-            .collect()
+        self.holding_in
+            .get(&txn)
+            .map(|s| s.as_slice().to_vec())
+            .unwrap_or_default()
     }
 
     /// `true` if `txn` is queued (waiting) for `resource`.
     pub fn is_waiting(&self, txn: TransactionId, resource: ResourceId) -> bool {
-        self.entries
-            .get(&resource)
-            .is_some_and(|e| e.queue.iter().any(|&(t, _)| t == txn))
+        self.waiting_in
+            .get(&txn)
+            .is_some_and(|s| s.contains(&resource))
+    }
+
+    /// `true` if `txn` is queued for any resource in this table — the O(1)
+    /// membership test behind the controller's "locally blocked" check.
+    pub fn is_waiting_anywhere(&self, txn: TransactionId) -> bool {
+        self.waiting_in.contains_key(&txn)
     }
 
     /// `true` if `txn` holds `resource` in any mode.
@@ -274,18 +328,28 @@ impl LockTable {
     /// edges, **excluding** the trivial empty path — i.e. the paper's
     /// "label all processes reachable from (T_i, S_j)" closure. `start`
     /// itself appears in the result iff it lies on a local cycle.
+    ///
+    /// Runs a direct BFS over the waiting-in reverse index: only entries a
+    /// frontier transaction is actually queued in are examined, instead of
+    /// materialising the full wait-for edge set per call.
     pub fn reachable_from(&self, start: TransactionId) -> BTreeSet<TransactionId> {
-        let edges = self.wait_edges();
-        let mut adj: BTreeMap<TransactionId, Vec<TransactionId>> = BTreeMap::new();
-        for &(a, b) in &edges {
-            adj.entry(a).or_default().push(b);
-        }
         let mut seen = BTreeSet::new();
         let mut frontier = vec![start];
         while let Some(v) = frontier.pop() {
-            for &w in adj.get(&v).into_iter().flatten() {
-                if seen.insert(w) {
-                    frontier.push(w);
+            let Some(resources) = self.waiting_in.get(&v) else {
+                continue;
+            };
+            for r in resources.iter() {
+                let e = &self.entries[r];
+                let pos = e
+                    .queue
+                    .iter()
+                    .position(|&(t, _)| t == v)
+                    .expect("waiting_in coherent with queue");
+                for b in Self::blockers_of(e, pos) {
+                    if seen.insert(b) {
+                        frontier.push(b);
+                    }
                 }
             }
         }
@@ -309,10 +373,7 @@ impl LockTable {
 
     /// All transactions currently queued anywhere in this table.
     pub fn waiting_transactions(&self) -> BTreeSet<TransactionId> {
-        self.entries
-            .values()
-            .flat_map(|e| e.queue.iter().map(|&(t, _)| t))
-            .collect()
+        self.waiting_in.keys().copied().collect()
     }
 }
 

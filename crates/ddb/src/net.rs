@@ -175,6 +175,12 @@ impl DdbNet {
         self.sim.metrics()
     }
 
+    /// High-water mark of the scheduler's event queue (see
+    /// [`simnet::sim::Simulation::peak_queue_depth`]).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.sim.peak_queue_depth()
+    }
+
     /// All declarations across all controllers, ordered by time.
     pub fn declarations(&self) -> Vec<DdbDeadlock> {
         let mut ds: Vec<DdbDeadlock> = (0..self.n_sites)
@@ -501,7 +507,10 @@ mod tests {
         use simnet::faults::FaultPlan;
         use simnet::reliable::ReliableConfig;
         for seed in [3u64, 7, 11] {
-            let plan = FaultPlan::new().loss(0.10).duplicate(0.05).reorder(0.10, 30);
+            let plan = FaultPlan::new()
+                .loss(0.10)
+                .duplicate(0.05)
+                .reorder(0.10, 30);
             let builder = SimBuilder::new()
                 .seed(seed)
                 .faults(plan)

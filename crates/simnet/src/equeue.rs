@@ -1,0 +1,391 @@
+//! Indexed priority queue for the simulator's event loop.
+//!
+//! The scheduler needs three operations on pending events:
+//!
+//! 1. pop the earliest event — ordered by `(time, sequence)`, where the
+//!    sequence number is unique, so the order is a strict total order;
+//! 2. push a new event;
+//! 3. **cancel** an arbitrary pending event (timer cancellation).
+//!
+//! `std::collections::BinaryHeap` offers no removal, so the previous
+//! scheduler kept a tombstone set of cancelled [`TimerId`]s and filtered
+//! them out at pop time — the set grew without bound on long runs and
+//! every cancelled timer still travelled the heap. This module replaces
+//! it with a slab-backed **4-ary min-heap**:
+//!
+//! * entries live in a slab (`Vec` of slots with a free list), so memory
+//!   is bounded by the *peak* number of concurrently pending events, not
+//!   by the total scheduled over a run;
+//! * the heap array stores slot indices and each slot remembers its heap
+//!   position, so removal by handle is `O(log n)` — a swap with the last
+//!   element plus one sift;
+//! * handles ([`EntryId`]) carry a per-slot generation stamp, so a stale
+//!   handle (entry already popped, slot since reused) is detected in
+//!   `O(1)` and removal is a no-op, matching the "cancelling a fired
+//!   timer is a no-op" contract.
+//!
+//! The 4-ary layout halves the tree depth of a binary heap and keeps the
+//! four child keys on one cache line; pop order is identical to any other
+//! min-heap because keys are totally ordered.
+//!
+//! [`TimerId`]: crate::sim::TimerId
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::equeue::EventQueue;
+//! use simnet::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! let t = |n| SimTime::from_ticks(n);
+//! q.push((t(30), 0), "late");
+//! let id = q.push((t(10), 1), "cancel me");
+//! q.push((t(20), 2), "early");
+//! assert_eq!(q.remove(id), Some("cancel me"));
+//! assert_eq!(q.remove(id), None); // stale handle: no-op
+//! assert_eq!(q.pop().map(|(_, _, v)| v), Some("early"));
+//! assert_eq!(q.pop().map(|(_, _, v)| v), Some("late"));
+//! assert!(q.is_empty());
+//! ```
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Scheduling key: virtual time, tie-broken by a unique sequence number.
+pub type EventKey = (SimTime, u64);
+
+/// Sentinel heap position for slots not currently queued.
+const NO_POS: u32 = u32::MAX;
+
+/// Handle to a queued entry, valid until the entry pops or is removed.
+///
+/// Encodes `(generation << 32) | slot`; the generation stamp makes reuse
+/// of the slot by a later entry detectable, so operations on stale
+/// handles are safe no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId(u64);
+
+impl EntryId {
+    /// The raw encoded value (for embedding in opaque public handles).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`EntryId::raw`].
+    pub fn from_raw(raw: u64) -> Self {
+        EntryId(raw)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn encode(slot: usize, generation: u32) -> Self {
+        EntryId(((generation as u64) << 32) | slot as u64)
+    }
+}
+
+struct Slot<T> {
+    generation: u32,
+    /// Position in `heap`, or `NO_POS` when the slot is free.
+    pos: u32,
+    key: EventKey,
+    value: Option<T>,
+}
+
+/// A slab-backed 4-ary min-heap over `(SimTime, u64)` keys.
+///
+/// See the [module documentation](self) for the design.
+pub struct EventQueue<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    /// Heap of slot indices, min-ordered by the slots' keys.
+    heap: Vec<u32>,
+    peak: usize,
+}
+
+impl<T> fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("slots", &self.slots.len())
+            .field("peak", &self.peak)
+            .finish()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            peak: 0,
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The largest number of simultaneously pending entries ever observed.
+    pub fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of slab slots ever allocated — the queue's memory footprint.
+    ///
+    /// Bounded by [`EventQueue::peak_depth`], *not* by the total number of
+    /// pushes over the queue's lifetime (slots are recycled).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts an entry and returns a handle usable with
+    /// [`EventQueue::remove`] until the entry pops.
+    pub fn push(&mut self, key: EventKey, value: T) -> EntryId {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                sl.generation = sl.generation.wrapping_add(1);
+                sl.key = key;
+                sl.value = Some(value);
+                s as usize
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    pos: NO_POS,
+                    key,
+                    value: Some(value),
+                });
+                self.slots.len() - 1
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot as u32);
+        self.slots[slot].pos = pos as u32;
+        self.sift_up(pos);
+        self.peak = self.peak.max(self.heap.len());
+        EntryId::encode(slot, self.slots[slot].generation)
+    }
+
+    /// The key of the earliest entry, if any.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.first().map(|&s| self.slots[s as usize].key)
+    }
+
+    /// Removes and returns the earliest entry as `(id, key, value)`.
+    pub fn pop(&mut self) -> Option<(EntryId, EventKey, T)> {
+        let slot = *self.heap.first()? as usize;
+        let id = EntryId::encode(slot, self.slots[slot].generation);
+        let (key, value) = self.detach(slot);
+        Some((id, key, value))
+    }
+
+    /// Removes the entry behind `id`, if it is still pending.
+    ///
+    /// Stale handles — entries that already popped, even if their slot has
+    /// since been reused — are detected via the generation stamp and
+    /// return `None`.
+    pub fn remove(&mut self, id: EntryId) -> Option<T> {
+        let slot = id.slot();
+        let sl = self.slots.get(slot)?;
+        if sl.generation != id.generation() || sl.pos == NO_POS {
+            return None;
+        }
+        Some(self.detach(slot).1)
+    }
+
+    /// Unlinks `slot` from the heap and frees it, returning its contents.
+    fn detach(&mut self, slot: usize) -> (EventKey, T) {
+        let pos = self.slots[slot].pos as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        self.slots[slot].pos = NO_POS;
+        let key = self.slots[slot].key;
+        let value = self.slots[slot].value.take().expect("occupied slot");
+        self.free.push(slot as u32);
+        if pos < self.heap.len() {
+            self.slots[self.heap[pos] as usize].pos = pos as u32;
+            // The swapped-in entry came from the bottom; it may need to
+            // move either way relative to its new neighbourhood.
+            self.sift_up(pos);
+            self.sift_down(pos);
+        }
+        (key, value)
+    }
+
+    fn key_at(&self, pos: usize) -> EventKey {
+        self.slots[self.heap[pos] as usize].key
+    }
+
+    fn swap_heap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a as u32;
+        self.slots[self.heap[b] as usize].pos = b as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 4;
+            if self.key_at(pos) < self.key_at(parent) {
+                self.swap_heap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let n = self.heap.len();
+        loop {
+            let first = 4 * pos + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            for child in first + 1..(first + 4).min(n) {
+                if self.key_at(child) < self.key_at(min) {
+                    min = child;
+                }
+            }
+            if self.key_at(min) < self.key_at(pos) {
+                self.swap_heap(pos, min);
+                pos = min;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_ticks(n)
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = EventQueue::new();
+        let keys = [5u64, 3, 9, 1, 7, 2, 8, 0, 6, 4];
+        for (i, &k) in keys.iter().enumerate() {
+            q.push((t(k), i as u64), k);
+        }
+        let mut out = Vec::new();
+        while let Some((_, _, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let mut q = EventQueue::new();
+        for seq in [4u64, 1, 3, 0, 2] {
+            q.push((t(10), seq), seq);
+        }
+        let mut out = Vec::new();
+        while let Some((_, (_, seq), v)) = q.pop() {
+            assert_eq!(seq, v);
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_is_exact_and_stale_safe() {
+        let mut q = EventQueue::new();
+        let a = q.push((t(1), 0), "a");
+        let b = q.push((t(2), 1), "b");
+        let c = q.push((t(3), 2), "c");
+        assert_eq!(q.remove(b), Some("b"));
+        assert_eq!(q.remove(b), None, "double cancel is a no-op");
+        // The freed slot is reused; the old handle must not hit it.
+        let d = q.push((t(4), 3), "d");
+        assert_eq!(q.remove(b), None, "stale handle after slot reuse");
+        assert_eq!(q.pop().map(|(_, _, v)| v), Some("a"));
+        assert_eq!(q.remove(a), None, "popped handle is stale");
+        assert_eq!(q.remove(c), Some("c"));
+        assert_eq!(q.remove(d), Some("d"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slab_memory_is_bounded_by_peak_not_throughput() {
+        let mut q = EventQueue::new();
+        for i in 0..100_000u64 {
+            let id = q.push((t(i), i), i);
+            q.remove(id);
+        }
+        assert!(q.is_empty());
+        assert!(q.slot_count() <= 2, "slots must be recycled");
+        assert_eq!(q.peak_depth(), 1);
+    }
+
+    #[test]
+    fn matches_reference_heap_under_random_mix() {
+        // Differential test against a sorted-vec reference model.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(EventKey, u64)> = Vec::new();
+        let mut handles: Vec<(EntryId, u64)> = Vec::new();
+        let mut state = 0x9e37_79b9_u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for seq in 0..5_000u64 {
+            match rnd() % 4 {
+                0 | 1 => {
+                    let key = (t(rnd() % 64), seq);
+                    handles.push((q.push(key, seq), seq));
+                    model.push((key, seq));
+                }
+                2 if !handles.is_empty() => {
+                    let idx = (rnd() as usize) % handles.len();
+                    let (id, val) = handles.swap_remove(idx);
+                    let removed = q.remove(id);
+                    let in_model = model.iter().position(|&(_, v)| v == val);
+                    assert_eq!(removed.is_some(), in_model.is_some());
+                    if let Some(p) = in_model {
+                        model.swap_remove(p);
+                    }
+                }
+                _ => {
+                    let got = q.pop().map(|(_, _, v)| v);
+                    model.sort_unstable();
+                    let want = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0).1)
+                    };
+                    assert_eq!(got, want);
+                }
+            }
+            assert_eq!(q.len(), model.len());
+        }
+    }
+}

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod equeue;
 pub mod faults;
 pub mod latency;
 pub mod metrics;

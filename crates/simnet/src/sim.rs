@@ -54,12 +54,11 @@
 //! assert!(outcome.quiescent);
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::equeue::{EntryId, EventQueue};
 use crate::faults::{DropReason, FaultPlan, FaultState, SendFate};
 use crate::latency::LatencyModel;
 use crate::metrics::{builtin, Metrics};
@@ -93,6 +92,11 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifies a pending timer, for cancellation.
+///
+/// Internally this is the scheduler's generation-stamped slot handle
+/// (see [`crate::equeue`]), so cancellation removes the timer event from
+/// the queue in `O(log n)` — there is no tombstone set to grow — and a
+/// stale id (timer already fired or cancelled) is a safe no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
@@ -136,7 +140,6 @@ enum EventKind<M> {
     },
     Timer {
         node: NodeId,
-        id: TimerId,
         tag: u64,
     },
     /// Fault plan: `node` goes down.
@@ -164,31 +167,6 @@ enum EventKind<M> {
         seq: u64,
         attempt: u32,
     },
-}
-
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        // Ties break by sequence number, giving a deterministic total order.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// Everything a process may touch while handling an event.
@@ -238,8 +216,12 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
 
     /// Cancels a pending timer. Cancelling an already-fired or unknown timer
     /// is a no-op.
+    ///
+    /// The timer event is removed from the scheduler immediately: a
+    /// cancelled timer neither occupies queue memory nor counts as an
+    /// event when its due time passes.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled.insert(id);
+        self.core.queue.remove(EntryId::from_raw(id.0));
     }
 
     /// Increments the metric counter named `kind`.
@@ -252,8 +234,18 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
         self.core.metrics.add(kind, n);
     }
 
+    /// True when the event trace is recording. Callers building annotation
+    /// strings (e.g. `ctx.note(format!(...))`) should skip the formatting
+    /// entirely when this is off, so a disabled trace allocates nothing.
+    pub fn tracing(&self) -> bool {
+        self.core.trace.is_enabled()
+    }
+
     /// Records a free-form trace annotation (no-op when tracing is off).
     pub fn note(&mut self, text: impl Into<String>) {
+        if !self.core.trace.is_enabled() {
+            return;
+        }
         let at = self.core.now;
         let node = self.node;
         self.core.trace.push(TraceEvent::Note {
@@ -276,20 +268,22 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
 
 struct Core<M> {
     now: SimTime,
-    queue: BinaryHeap<Event<M>>,
+    queue: EventQueue<EventKind<M>>,
     seq: u64,
-    channel_clock: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per-channel FIFO clocks, indexed `[from][to]` (grown on demand) —
+    /// two array lookups on the send hot path instead of a hashed probe.
+    channel_clock: Vec<Vec<SimTime>>,
     latency: LatencyModel,
     rng: DetRng,
     metrics: Metrics,
     trace: Trace,
-    cancelled: HashSet<TimerId>,
-    next_timer: u64,
     halted: bool,
     node_count: usize,
     fifo: bool,
     faults: Option<FaultState>,
-    crashed: HashSet<NodeId>,
+    /// Crash flags, indexed by node (grown on demand) — consulted on every
+    /// send and delivery.
+    crashed: Vec<bool>,
     rel: Option<ReliableState<M>>,
 }
 
@@ -297,11 +291,36 @@ impl<M: fmt::Debug + Clone> Core<M> {
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        self.queue.push((at, seq), kind);
+    }
+
+    fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// Sets `node`'s crash flag; returns `true` if the flag changed.
+    fn set_crashed(&mut self, node: NodeId, down: bool) -> bool {
+        if self.crashed.len() <= node.0 {
+            self.crashed.resize(node.0 + 1, false);
+        }
+        let changed = self.crashed[node.0] != down;
+        self.crashed[node.0] = down;
+        changed
+    }
+
+    fn channel_clock_mut(&mut self, from: NodeId, to: NodeId) -> &mut SimTime {
+        if self.channel_clock.len() <= from.0 {
+            self.channel_clock.resize_with(from.0 + 1, Vec::new);
+        }
+        let row = &mut self.channel_clock[from.0];
+        if row.len() <= to.0 {
+            row.resize(to.0 + 1, SimTime::ZERO);
+        }
+        &mut row[to.0]
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
-        if self.crashed.contains(&from) {
+        if self.is_crashed(from) {
             // A crashed node cannot reach the wire (this arises only from
             // driver injection via `with_node`; a crashed node's own
             // callbacks are suppressed).
@@ -373,11 +392,9 @@ impl<M: fmt::Debug + Clone> Core<M> {
         } else if self.fifo {
             // FIFO discipline: never schedule a delivery earlier than the
             // last one on the same channel. Equal times are untied by `seq`.
-            let clock = self
-                .channel_clock
-                .entry((from, to))
-                .or_insert(SimTime::ZERO);
-            let at = (*clock).max(self.now + delay);
+            let now = self.now;
+            let clock = self.channel_clock_mut(from, to);
+            let at = (*clock).max(now + delay);
             *clock = at;
             at
         } else {
@@ -664,11 +681,11 @@ impl<M: fmt::Debug + Clone> Core<M> {
     }
 
     fn set_timer(&mut self, node: NodeId, delay: u64, tag: u64) -> TimerId {
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
         let at = self.now + delay.max(1);
-        self.push(at, EventKind::Timer { node, id, tag });
-        id
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = self.queue.push((at, seq), EventKind::Timer { node, tag });
+        TimerId(entry.raw())
     }
 }
 
@@ -775,20 +792,18 @@ impl SimBuilder {
         Simulation {
             core: Core {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 seq: 0,
-                channel_clock: HashMap::new(),
+                channel_clock: Vec::new(),
                 latency: self.latency,
                 rng,
                 metrics: Metrics::new(),
                 trace: Trace::new(self.trace),
-                cancelled: HashSet::new(),
-                next_timer: 0,
                 halted: false,
                 node_count: 0,
                 fifo: self.fifo,
                 faults,
-                crashed: HashSet::new(),
+                crashed: Vec::new(),
                 rel: self.reliable.map(ReliableState::new),
             },
             procs: Vec::new(),
@@ -868,7 +883,25 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
 
     /// True if the fault plan currently has `id` crashed.
     pub fn is_crashed(&self, id: NodeId) -> bool {
-        self.core.crashed.contains(&id)
+        self.core.is_crashed(id)
+    }
+
+    /// Number of events currently pending in the scheduler.
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// Largest number of simultaneously pending events observed so far —
+    /// the scheduler's high-water mark, reported by the bench harness.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.core.queue.peak_depth()
+    }
+
+    /// Number of scheduler slab slots ever allocated. Bounded by the peak
+    /// queue depth (slots are recycled), *not* by events processed — the
+    /// memory-bound regression tests assert on this.
+    pub fn scheduler_slots(&self) -> usize {
+        self.core.queue.slot_count()
     }
 
     /// Runs `f` against a process with a live [`Context`], at the current
@@ -928,13 +961,13 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(ev) = self.core.queue.pop() else {
+        let Some((entry, (at, _), kind)) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.core.now, "time must not run backwards");
-        self.core.now = ev.at;
+        debug_assert!(at >= self.core.now, "time must not run backwards");
+        self.core.now = at;
         self.core.metrics.inc(builtin::EVENTS);
-        match ev.kind {
+        match kind {
             EventKind::Start(node) => {
                 let mut ctx = Context {
                     node,
@@ -943,7 +976,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                 self.procs[node.0].on_start(&mut ctx);
             }
             EventKind::Deliver { from, to, msg } => {
-                if self.core.crashed.contains(&to) {
+                if self.core.is_crashed(to) {
                     // Messages arriving during an outage are lost; the
                     // reliable layer (if any) would have retransmitted,
                     // but raw deliveries are simply gone.
@@ -978,18 +1011,21 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                 };
                 self.procs[to.0].on_message(&mut ctx, from, msg);
             }
-            EventKind::Timer { node, id, tag } => {
-                if self.core.cancelled.remove(&id) {
-                    return true; // cancelled: consumed silently
-                }
-                if self.core.crashed.contains(&node) {
+            EventKind::Timer { node, tag } => {
+                if self.core.is_crashed(node) {
                     // A crashed node's timers are lost, not deferred:
                     // `on_restart` re-arms whatever recovery needs.
                     return true;
                 }
                 self.core.metrics.inc(builtin::TIMERS_FIRED);
-                let at = self.core.now;
-                self.core.trace.push(TraceEvent::Timer { at, node, tag });
+                if self.core.trace.is_enabled() {
+                    let at = self.core.now;
+                    self.core.trace.push(TraceEvent::Timer { at, node, tag });
+                }
+                // The popped entry's handle is the TimerId `set_timer`
+                // returned for this timer (generations only change on
+                // slot reuse), so the callback sees a matching id.
+                let id = TimerId(entry.raw());
                 let mut ctx = Context {
                     node,
                     core: &mut self.core,
@@ -997,14 +1033,14 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                 self.procs[node.0].on_timer(&mut ctx, id, tag);
             }
             EventKind::Crash(node) => {
-                if self.core.crashed.insert(node) {
+                if self.core.set_crashed(node, true) {
                     self.core.metrics.inc(builtin::CRASHES);
                     let at = self.core.now;
                     self.core.trace.push(TraceEvent::Crash { at, node });
                 }
             }
             EventKind::Restart(node) => {
-                if self.core.crashed.remove(&node) {
+                if self.core.set_crashed(node, false) {
                     self.core.metrics.inc(builtin::RESTARTS);
                     let at = self.core.now;
                     self.core.trace.push(TraceEvent::Restart { at, node });
@@ -1016,7 +1052,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                 }
             }
             EventKind::Wire { from, to, seq } => {
-                if self.core.crashed.contains(&to) {
+                if self.core.is_crashed(to) {
                     // Lost at a down receiver — but the sender's
                     // retransmission timer is still armed, so the packet
                     // will be offered again after the restart.
@@ -1098,7 +1134,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                 outcome.halted = true;
                 return outcome;
             }
-            match self.core.queue.peek() {
+            match self.core.queue.peek_key() {
                 None => {
                     // Idle time still passes: a driver that advances to `t`
                     // and injects work must see the clock at `t`.
@@ -1106,7 +1142,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                     outcome.quiescent = true;
                     return outcome;
                 }
-                Some(ev) if ev.at > deadline => {
+                Some((at, _)) if at > deadline => {
                     // Advance the clock to the deadline so repeated calls
                     // observe monotone time.
                     self.core.now = deadline;
@@ -1668,5 +1704,57 @@ mod tests {
         assert!(out.quiescent, "abandonment must keep the queue finite");
         assert_eq!(sim.metrics().get(builtin::DELIVERIES_ABANDONED), 3);
         assert!(sim.node(NodeId(1)).received.is_empty());
+    }
+
+    /// Every firing cancels a long-dated decoy timer and arms a fresh one.
+    struct CancelChurn {
+        decoy: Option<TimerId>,
+        left: u64,
+    }
+
+    impl Process<Msg> for CancelChurn {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.decoy = Some(ctx.set_timer(1 << 40, 1));
+            ctx.set_timer(1, 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, _msg: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _id: TimerId, tag: u64) {
+            if tag == 0 && self.left > 0 {
+                self.left -= 1;
+                ctx.cancel_timer(self.decoy.take().expect("decoy armed"));
+                self.decoy = Some(ctx.set_timer(1 << 40, 1));
+                ctx.set_timer(1, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn million_cancelled_timers_do_not_grow_scheduler_memory() {
+        // Regression guard for the tombstone scheduler this queue replaced:
+        // there, each of the 10^6 cancelled decoys stayed in the heap (plus
+        // a tombstone-set entry) until its distant due time, so memory grew
+        // with cancellation *throughput*. The indexed queue removes entries
+        // in place; its slab must stay at the concurrent-entry high-water
+        // mark (~2 here) no matter how many cancel/reschedule cycles ran.
+        let mut sim = SimBuilder::new().seed(9).build::<Msg, CancelChurn>();
+        sim.add_node(CancelChurn {
+            decoy: None,
+            left: 1_000_000,
+        });
+        let out = sim.run_to_quiescence(u64::MAX);
+        assert!(out.quiescent);
+        // 10^6 churn ticks + the final no-op tick + the last decoy firing.
+        assert_eq!(sim.metrics().get(builtin::TIMERS_FIRED), 1_000_002);
+        assert!(
+            sim.scheduler_slots() <= 8,
+            "slab leaked: {} slots",
+            sim.scheduler_slots()
+        );
+        assert!(
+            sim.peak_queue_depth() <= 8,
+            "queue depth leaked: {}",
+            sim.peak_queue_depth()
+        );
+        assert_eq!(sim.pending_events(), 0);
     }
 }

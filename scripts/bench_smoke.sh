@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Quick-profile benchmark smoke run for CI: executes the two instrumented
+# experiment binaries with reduced seed counts (CMH_BENCH_QUICK=1) and
+# parallel sweeps on, then assembles target/experiments/BENCH_sim.json.
+# Catches harness regressions (missing records, malformed JSON, broken
+# parallel path) without the full experiment wall clock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="target/experiments"
+bench="$out/bench"
+mkdir -p "$out" "$bench"
+rm -f "$bench"/*.json
+export CMH_BENCH_QUICK=1
+export CMH_PAR_SEEDS=1
+for b in exp_probe_bounds exp_faults; do
+  echo "== $b (quick) =="
+  cargo run --quiet --release -p cmh-bench --bin "$b"
+  test -f "$bench/$b.json" || { echo "missing bench record for $b" >&2; exit 1; }
+  echo
+done
+{
+  echo '['
+  first=1
+  for f in "$bench"/*.json; do
+    [ "$first" -eq 1 ] || echo ','
+    first=0
+    cat "$f"
+  done
+  echo ']'
+} > "$out/BENCH_sim.json"
+# Fail loudly if the assembled file is not valid JSON (python3 is present
+# on all CI images; skip the check quietly where it is not).
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out/BENCH_sim.json"
+fi
+echo "bench smoke OK: $out/BENCH_sim.json"

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
 # Regenerates every table in EXPERIMENTS.md. Each binary prints one
 # markdown table plus a claim-check line; outputs land in target/experiments/.
+#
+# Performance records: instrumented binaries write detailed JSON
+# (events/sec, probes/sec, peak event-queue depth) to
+# target/experiments/bench/<exp>.json; this script times the rest and
+# assembles everything into target/experiments/BENCH_sim.json.
+#
+# Set CMH_PAR_SEEDS=1 to fan each experiment's independent seeded runs
+# out over threads — same tables, less wall clock.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="target/experiments"
-mkdir -p "$out"
+bench="$out/bench"
+mkdir -p "$out" "$bench"
+rm -f "$bench"/*.json
 bins=(
   exp_probe_bounds
   exp_timeout_tradeoff
@@ -19,9 +29,28 @@ bins=(
   exp_ablations
   exp_faults
 )
+cargo build --quiet --release -p cmh-bench
 for b in "${bins[@]}"; do
   echo "== $b =="
+  start=$(date +%s%N)
   cargo run --quiet --release -p cmh-bench --bin "$b" | tee "$out/$b.txt"
+  end=$(date +%s%N)
+  wall_ms=$(( (end - start) / 1000000 ))
+  # Uninstrumented binaries still get a wall-time-only record.
+  if [ ! -f "$bench/$b.json" ]; then
+    printf '{\n  "experiment": "%s",\n  "wall_ms": %d\n}\n' "$b" "$wall_ms" > "$bench/$b.json"
+  fi
   echo
 done
+{
+  echo '['
+  first=1
+  for f in "$bench"/*.json; do
+    [ "$first" -eq 1 ] || echo ','
+    first=0
+    cat "$f"
+  done
+  echo ']'
+} > "$out/BENCH_sim.json"
 echo "all experiment outputs written to $out/"
+echo "benchmark records assembled in $out/BENCH_sim.json"
