@@ -26,7 +26,8 @@ use simnet::metrics::Metrics;
 use simnet::sim::{Context, NodeId, Process, RunOutcome, SimBuilder, Simulation, TimerId};
 use simnet::time::SimTime;
 use wfg::journal::Journal;
-use wfg::{oracle, WaitForGraph};
+use wfg::oracle::Oracle;
+use wfg::WaitForGraph;
 
 use crate::report::{classify, BaselineReport, Classified};
 use crate::substrate::{CoreMsg, CoreState, RequestError};
@@ -76,8 +77,9 @@ const TAG_POLL: u64 = 1;
 pub enum CentralProcess {
     /// Runs the underlying computation and answers snapshot polls.
     Worker(Worker),
-    /// Polls, assembles the global graph, reports cycles.
-    Coordinator(Coordinator),
+    /// Polls, assembles the global graph, reports cycles. Boxed: the
+    /// embedded graph + oracle scratch dwarf the worker variant.
+    Coordinator(Box<Coordinator>),
 }
 
 impl fmt::Debug for CentralProcess {
@@ -121,6 +123,11 @@ pub struct Coordinator {
     prev_view: Option<BTreeSet<(NodeId, NodeId)>>,
     currently_reported: BTreeSet<NodeId>,
     reports: Vec<BaselineReport>,
+    /// Per-round view graph, cleared and rebuilt each poll so vertex
+    /// interning and row allocations are reused across rounds.
+    graph: WaitForGraph,
+    /// Reusable oracle scratch for the per-round cycle search.
+    oracle: Oracle,
 }
 
 impl Coordinator {
@@ -139,15 +146,15 @@ impl Coordinator {
         };
         self.prev_view = Some(view);
         // Assemble and search for cycles with the shared graph machinery.
-        let mut g = WaitForGraph::new();
+        self.graph.clear();
         for &(a, b) in &effective {
-            g.create_grey(a, b).expect("deduplicated edges");
-            g.blacken(a, b).expect("fresh grey edge");
+            self.graph.create_grey(a, b).expect("deduplicated edges");
+            self.graph.blacken(a, b).expect("fresh grey edge");
         }
-        let members = oracle::dark_cycle_members(&g);
+        let members = self.oracle.dark_cycle_members(&self.graph);
         // Report newly deadlocked vertices; forget ones whose cycle is gone
         // (so a later phantom of the same vertex is counted again).
-        for &v in &members {
+        for &v in members {
             if self.currently_reported.insert(v) {
                 ctx.count(counters::DECLARED);
                 ctx.note(format!("central: {v} reported deadlocked"));
@@ -270,7 +277,7 @@ impl CentralNet {
                 serve_pending: false,
             }));
         }
-        sim.add_node(CentralProcess::Coordinator(Coordinator {
+        sim.add_node(CentralProcess::Coordinator(Box::new(Coordinator {
             n_workers: n,
             period,
             mode,
@@ -279,7 +286,9 @@ impl CentralNet {
             prev_view: None,
             currently_reported: BTreeSet::new(),
             reports: Vec::new(),
-        }));
+            graph: WaitForGraph::new(),
+            oracle: Oracle::new(),
+        })));
         CentralNet {
             sim,
             journal,

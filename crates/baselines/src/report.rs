@@ -10,8 +10,8 @@ use std::fmt;
 
 use simnet::sim::NodeId;
 use simnet::time::SimTime;
-use wfg::journal::Journal;
-use wfg::oracle;
+use wfg::journal::{Journal, ReplayCursor};
+use wfg::oracle::Oracle;
 
 /// One "deadlock" claim by a baseline detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,11 +62,15 @@ impl Classified {
 /// Panics if the journal is not a legal G1–G4 history (a harness bug).
 pub fn classify(journal: &Journal, reports: &[BaselineReport]) -> Classified {
     let mut out = Classified::default();
+    // Reports arrive in claim order, so the cursor mostly seeks forward;
+    // checkpoints make the occasional backward seek cheap too.
+    let mut cursor = ReplayCursor::new();
+    let mut oracle = Oracle::new();
     for r in reports {
-        let g = journal
-            .replay_until(r.at)
+        let g = cursor
+            .seek(journal, r.at)
             .expect("harness journal must be a legal history");
-        if oracle::is_on_dark_cycle(&g, r.subject) {
+        if oracle.is_on_dark_cycle(g, r.subject) {
             out.genuine += 1;
         } else {
             out.phantom += 1;

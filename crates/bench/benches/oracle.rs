@@ -49,29 +49,89 @@ fn bench_wfgd_ground_truth(c: &mut Criterion) {
 }
 
 fn bench_journal_replay(c: &mut Criterion) {
-    use wfg::journal::{GraphOp, Journal};
+    use wfg::journal::{GraphOp, Journal, ReplayCursor};
     let mut journal = Journal::new();
+    let mut live = std::collections::BTreeSet::new();
     let mut t = 0u64;
     for i in 0..2000usize {
         let a = NodeId(i % 50);
         let b = NodeId((i * 7 + 1) % 50);
-        if a == b {
+        if a == b || !live.insert((a, b)) {
             continue;
         }
         t += 1;
         let at = simnet::time::SimTime::from_ticks(t);
         // Full lifecycle so the journal stays legal.
-        if journal.replay_all().unwrap().has_edge(a, b) {
-            continue;
-        }
         journal.record(at, GraphOp::CreateGrey(a, b));
         journal.record(at, GraphOp::Blacken(a, b));
         journal.record(at, GraphOp::Whiten(a, b));
         journal.record(at, GraphOp::DeleteWhite(a, b));
+        live.remove(&(a, b));
     }
     c.bench_function("journal/replay_2k_ops", |b| {
         b.iter(|| black_box(journal.replay_all().unwrap().edge_count()));
     });
+    // The checkpointed cursor answers scattered as-of-time queries without
+    // rebuilding from entry 0 each time.
+    let len = journal.len() as u64;
+    c.bench_function("journal/cursor_seek_2k_ops", |b| {
+        let mut cursor = ReplayCursor::new();
+        let mut q = 1u64;
+        b.iter(|| {
+            q = (q * 48271) % (len + 1); // deterministic scattered targets
+            let g = cursor
+                .seek(&journal, simnet::time::SimTime::from_ticks(q))
+                .unwrap();
+            black_box(g.edge_count())
+        });
+    });
+}
+
+/// The tentpole comparison: N edge ops with a dark-cycle query after each,
+/// answered (a) from scratch per query and (b) by the incremental
+/// [`oracle::Oracle`]. The workload is add-only (the monotone case the
+/// incremental path is built for), growing a sparse digraph that keeps
+/// closing cycles.
+fn bench_churn_queries(c: &mut Criterion) {
+    use wfg::oracle::Oracle;
+    let mut group = c.benchmark_group("oracle/churn_query_each_op");
+    for n in [128usize, 512] {
+        let mut rng = DetRng::seed_from_u64(13);
+        let mut edges = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        while edges.len() < 4 * n {
+            let a = NodeId(rng.next_below(n as u64) as usize);
+            let b = NodeId(rng.next_below(n as u64) as usize);
+            if a != b && seen.insert((a, b)) {
+                edges.push((a, b));
+            }
+        }
+        group.throughput(Throughput::Elements(edges.len() as u64));
+        group.bench_with_input(BenchmarkId::new("scratch", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut g = WaitForGraph::new();
+                let mut members = 0usize;
+                for &(a, b) in edges {
+                    g.create_grey(a, b).unwrap();
+                    members = oracle::dark_cycle_members(&g).len();
+                }
+                black_box(members)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut g = WaitForGraph::new();
+                let mut oracle = Oracle::new();
+                let mut members = 0usize;
+                for &(a, b) in edges {
+                    g.create_grey(a, b).unwrap();
+                    members = oracle.dark_cycle_members(&g).len();
+                }
+                black_box(members)
+            });
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(
@@ -79,6 +139,7 @@ criterion_group!(
     bench_dark_sccs,
     bench_permanently_blocked,
     bench_wfgd_ground_truth,
-    bench_journal_replay
+    bench_journal_replay,
+    bench_churn_queries
 );
 criterion_main!(benches);

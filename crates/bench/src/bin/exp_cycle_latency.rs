@@ -6,30 +6,48 @@
 //! (requests and probes pipeline around the ring). We sweep cycle length
 //! under two latency models and report the measured latency from cycle
 //! formation (journal ground truth) to declaration.
+//!
+//! A [`cmh_bench::record::BenchRecord`] with aggregate throughput — and
+//! the time attributable to ground-truth oracle queries (`oracle_ms`) —
+//! lands in `target/experiments/bench/exp_cycle_latency.json`.
 
-use cmh_bench::{formation_time, Table};
+use std::time::Instant;
+
+use cmh_bench::record::BenchRecord;
+use cmh_bench::{formation_time, time_ms, Table};
+use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
 use simnet::latency::LatencyModel;
+use simnet::metrics::builtin;
 use simnet::sim::SimBuilder;
 use wfg::generators;
 
-fn run(n: usize, latency: LatencyModel, seed: u64) -> (u64, u64) {
+fn run(n: usize, latency: LatencyModel, seed: u64, rec: &mut BenchRecord) -> (u64, u64) {
     let builder = SimBuilder::new().seed(seed).latency(latency);
     let mut net = BasicNet::with_builder(n, BasicConfig::on_block(4), builder);
     net.request_edges(&generators::cycle(n)).unwrap();
     net.run_to_quiescence(100_000_000);
-    net.verify_soundness().expect("QRP2");
+    time_ms(&mut rec.oracle_ms, || net.verify_soundness().expect("QRP2"));
     let journal = net.journal_snapshot();
     let first = net
         .declarations()
         .into_iter()
         .min_by_key(|d| d.at)
         .expect("cycle must be detected");
-    let formed = formation_time(&journal, first.detector, first.at);
+    let formed = time_ms(&mut rec.oracle_ms, || {
+        formation_time(&journal, first.detector, first.at)
+    });
+    rec.add_run(
+        net.metrics().get(builtin::EVENTS),
+        net.metrics().get(basic_counters::PROBE_SENT),
+        net.peak_queue_depth(),
+    );
     (first.at.ticks() - formed.ticks(), first.at.ticks())
 }
 
 fn main() {
+    let started = Instant::now();
+    let mut rec = BenchRecord::new("exp_cycle_latency");
     println!("# E8: detection latency vs cycle length\n");
     let mut t = Table::new([
         "cycle length",
@@ -48,7 +66,10 @@ fn main() {
             } else {
                 &[1, 2, 3, 4, 5]
             };
-            let total: u64 = seeds.iter().map(|&s| run(n, model.clone(), s).0).sum();
+            let total: u64 = seeds
+                .iter()
+                .map(|&s| run(n, model.clone(), s, &mut rec).0)
+                .sum();
             let lat = total as f64 / seeds.len() as f64;
             t.row([
                 n.to_string(),
@@ -61,4 +82,5 @@ fn main() {
     t.print();
     println!("claim check: latency grows linearly in cycle length; with fixed per-hop");
     println!("latency d the slope approaches d (one probe hop per edge). PASS");
+    rec.finish(started);
 }

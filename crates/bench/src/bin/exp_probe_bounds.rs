@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;
 use cmh_bench::sweep::sweep_map;
-use cmh_bench::Table;
+use cmh_bench::{time_ms, Table};
 use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet, ProbeTag};
 use simnet::metrics::builtin;
@@ -40,6 +40,9 @@ struct RunResult {
     events: u64,
     probes: u64,
     peak_depth: usize,
+    /// Time spent in ground-truth oracle queries, accumulated per run so
+    /// the total stays exact under parallel sweeps.
+    oracle_ms: f64,
 }
 
 fn run(topology: &Topology, label: &str) -> RunResult {
@@ -49,7 +52,8 @@ fn run(topology: &Topology, label: &str) -> RunResult {
     net.request_edges(&edges)
         .expect("generator produces legal requests");
     net.run_to_quiescence(50_000_000);
-    net.verify_soundness().expect("QRP2");
+    let mut oracle_ms = 0.0;
+    time_ms(&mut oracle_ms, || net.verify_soundness().expect("QRP2"));
     let per_tag = probes_per_computation(&net);
     let max_probes = per_tag.values().copied().max().unwrap_or(0);
     let computations = per_tag.len();
@@ -77,6 +81,7 @@ fn run(topology: &Topology, label: &str) -> RunResult {
         events: net.metrics().get(builtin::EVENTS),
         probes: net.metrics().get(basic_counters::PROBE_SENT),
         peak_depth: net.peak_queue_depth(),
+        oracle_ms,
     }
 }
 
@@ -124,6 +129,7 @@ fn main() {
     for r in sweep_map(cases, |(topology, label)| run(&topology, &label)) {
         t.row(r.row);
         rec.add_run(r.events, r.probes, r.peak_depth);
+        rec.oracle_ms += r.oracle_ms;
     }
     t.print();
     println!("claim check: on cycle(N) the max probes per computation equals N (one per edge);");

@@ -12,10 +12,15 @@
 //! The paper proves the probe computation reports **zero** phantoms; the
 //! baselines trade that away.
 
+use std::time::Instant;
+
 use baselines::{CentralNet, SnapshotMode, TimeoutNet};
-use cmh_bench::Table;
+use cmh_bench::record::BenchRecord;
+use cmh_bench::{time_ms, Table};
+use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
 use simnet::latency::LatencyModel;
+use simnet::metrics::builtin;
 use simnet::sim::SimBuilder;
 use simnet::time::SimTime;
 use workloads::{drive_schedule, random_churn, ChurnConfig};
@@ -52,6 +57,8 @@ fn schedule_for(seed: u64) -> workloads::Schedule {
 }
 
 fn main() {
+    let started = Instant::now();
+    let mut rec = BenchRecord::new("exp_soundness");
     println!("# E4: soundness/completeness Monte-Carlo ({RUNS} seeded runs per detector)\n");
     let mut table = Table::new([
         "detector",
@@ -80,10 +87,17 @@ fn main() {
         net.run_to_quiescence(100_000_000);
         // QRP2: every declaration checked against ground truth (panics on
         // violation — soundness is an invariant here, not a statistic).
-        cmh_reports += net.verify_soundness().expect("QRP2 violated");
-        if net.verify_completeness().is_err() {
+        cmh_reports += time_ms(&mut rec.oracle_ms, || {
+            net.verify_soundness().expect("QRP2 violated")
+        });
+        if time_ms(&mut rec.oracle_ms, || net.verify_completeness()).is_err() {
             cmh_missed += 1;
         }
+        rec.add_run(
+            net.metrics().get(builtin::EVENTS),
+            net.metrics().get(basic_counters::PROBE_SENT),
+            net.peak_queue_depth(),
+        );
     }
     table.row([
         "probe computation (CMH)".to_string(),
@@ -110,7 +124,7 @@ fn main() {
                 |n, from, to| n.request(from, to).is_ok(),
             );
             net.run_to_quiescence(100_000_000);
-            let c = net.classify_reports();
+            let c = time_ms(&mut rec.oracle_ms, || net.classify_reports());
             genuine += c.genuine;
             phantom += c.phantom;
         }
@@ -153,7 +167,7 @@ fn main() {
             // Give the poller time to settle after the last event.
             let end = net.now() + 5_000;
             net.run_until(SimTime::from_ticks(end.ticks()));
-            let c = net.classify_reports();
+            let c = time_ms(&mut rec.oracle_ms, || net.classify_reports());
             genuine += c.genuine;
             phantom += c.phantom;
         }
@@ -179,4 +193,5 @@ fn main() {
     println!("claim check: the probe computation reports zero phantoms (QRP2, machine-");
     println!("verified per run) and misses zero persisting deadlocks (QRP1). Timeout and");
     println!("one-phase central detection report phantoms under the same workload. PASS");
+    rec.finish(started);
 }

@@ -30,8 +30,8 @@ pub mod sweep;
 
 use simnet::sim::NodeId;
 use simnet::time::SimTime;
-use wfg::journal::Journal;
-use wfg::oracle;
+use wfg::journal::{Journal, ReplayCursor};
+use wfg::oracle::Oracle;
 
 /// Minimal markdown table builder for experiment output.
 #[derive(Debug, Clone, Default)]
@@ -104,28 +104,26 @@ impl Table {
 /// not a legal history.
 pub fn formation_time(journal: &Journal, v: NodeId, declared_at: SimTime) -> SimTime {
     let entries = journal.entries();
-    let on_cycle_at = |t: SimTime| -> bool {
-        let g = journal.replay_until(t).expect("legal history");
-        oracle::is_on_dark_cycle(&g, v)
+    // One checkpointed cursor serves the initial assertion and every
+    // binary-search probe: each seek applies O(K + distance) deltas
+    // instead of rebuilding the whole prefix from entry 0.
+    let mut cursor = ReplayCursor::new();
+    let mut oracle = Oracle::new();
+    let on_cycle_after = |cursor: &mut ReplayCursor, oracle: &mut Oracle, n: usize| -> bool {
+        let g = cursor.seek_to_index(journal, n).expect("legal history");
+        oracle.is_on_dark_cycle(g, v)
     };
+    let mut hi = entries.partition_point(|&(t, _)| t <= declared_at);
     assert!(
-        on_cycle_at(declared_at),
+        on_cycle_after(&mut cursor, &mut oracle, hi),
         "subject not deadlocked at declaration"
     );
     // Binary search over journal entry indices for the first prefix under
     // which v is on a dark cycle.
     let mut lo = 0usize; // first lo entries applied: not yet known cyclic
-    let mut hi = entries
-        .iter()
-        .take_while(|&&(t, _)| t <= declared_at)
-        .count();
     while lo < hi {
         let mid = (lo + hi) / 2;
-        let mut g = wfg::WaitForGraph::new();
-        for &(_, op) in &entries[..mid] {
-            op.apply(&mut g).expect("legal history");
-        }
-        if oracle::is_on_dark_cycle(&g, v) {
+        if on_cycle_after(&mut cursor, &mut oracle, mid) {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -136,6 +134,16 @@ pub fn formation_time(journal: &Journal, v: NodeId, declared_at: SimTime) -> Sim
     } else {
         entries[lo - 1].0
     }
+}
+
+/// Runs `f`, adding its wall-clock duration in milliseconds to `acc`.
+/// Used by the `exp_*` binaries to attribute time to oracle calls
+/// (`BenchRecord::oracle_ms`).
+pub fn time_ms<R>(acc: &mut f64, f: impl FnOnce() -> R) -> R {
+    let started = std::time::Instant::now();
+    let out = f();
+    *acc += started.elapsed().as_secs_f64() * 1_000.0;
+    out
 }
 
 /// Arithmetic mean of a u64 slice (0 for empty).

@@ -22,6 +22,10 @@ pub struct BenchRecord {
     pub experiment: String,
     /// Wall-clock time of the whole binary, in milliseconds.
     pub wall_ms: f64,
+    /// Wall-clock time spent inside ground-truth oracle queries (journal
+    /// replays, dark-cycle checks, `formation_time`), in milliseconds.
+    /// Accumulated via [`crate::time_ms`]; 0 where not instrumented.
+    pub oracle_ms: f64,
     /// Total simulator events executed across all runs.
     pub events: u64,
     /// Total probes sent across all runs (0 where not applicable).
@@ -68,6 +72,7 @@ impl BenchRecord {
         s.push_str("{\n");
         let _ = writeln!(s, "  \"experiment\": \"{}\",", self.experiment);
         let _ = writeln!(s, "  \"wall_ms\": {:.3},", self.wall_ms);
+        let _ = writeln!(s, "  \"oracle_ms\": {:.3},", self.oracle_ms);
         let _ = writeln!(s, "  \"runs\": {},", self.runs);
         let _ = writeln!(s, "  \"events\": {},", self.events);
         let _ = writeln!(s, "  \"probes\": {},", self.probes);
@@ -135,9 +140,11 @@ mod tests {
         let mut r = BenchRecord::new("exp_test");
         r.add_run(10, 1, 3);
         r.wall_ms = 1.5;
+        r.oracle_ms = 0.25;
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"experiment\": \"exp_test\""));
+        assert!(j.contains("\"oracle_ms\": 0.250"));
         assert!(j.contains("\"peak_queue_depth\": 3"));
         // No trailing comma before the closing brace.
         assert!(!j.contains(",\n}"));

@@ -18,7 +18,8 @@ use simnet::metrics::Metrics;
 use simnet::sim::{Context, NodeId, RunOutcome, SimBuilder, Simulation};
 use simnet::time::SimTime;
 use simnet::trace::Trace;
-use wfg::journal::Journal;
+use wfg::journal::{Journal, ReplayCursor};
+use wfg::oracle::Oracle;
 use wfg::{oracle, WaitForGraph};
 
 use crate::config::BasicConfig;
@@ -94,6 +95,12 @@ impl std::error::Error for ValidationError {}
 pub struct BasicNet {
     sim: Simulation<BasicMsg, BasicProcess>,
     journal: Rc<RefCell<Journal>>,
+    /// Checkpointed seek state over `journal`, shared by every as-of-time
+    /// query so repeated validation passes replay O(K) deltas, not the
+    /// whole journal. Interior mutability keeps `graph_at(&self)` stable.
+    cursor: RefCell<ReplayCursor>,
+    /// Memoized ground-truth oracle (scratch buffers + dark-set memo).
+    oracle: RefCell<Oracle>,
 }
 
 impl fmt::Debug for BasicNet {
@@ -120,7 +127,12 @@ impl BasicNet {
         for _ in 0..n {
             sim.add_node(BasicProcess::new(cfg).with_journal(Rc::clone(&journal)));
         }
-        BasicNet { sim, journal }
+        BasicNet {
+            sim,
+            journal,
+            cursor: RefCell::new(ReplayCursor::new()),
+            oracle: RefCell::new(Oracle::new()),
+        }
     }
 
     /// Convenience: a network with a specific latency model.
@@ -234,9 +246,10 @@ impl BasicNet {
     ///
     /// [`ValidationError::IllegalHistory`] if the journal violates G1–G4.
     pub fn graph_at(&self, at: SimTime) -> Result<WaitForGraph, ValidationError> {
-        self.journal
-            .borrow()
-            .replay_until(at)
+        self.cursor
+            .borrow_mut()
+            .seek(&self.journal.borrow(), at)
+            .cloned()
             .map_err(|e| ValidationError::IllegalHistory {
                 detail: e.to_string(),
             })
@@ -262,9 +275,18 @@ impl BasicNet {
     /// [`ValidationError::IllegalHistory`] if the journal itself is broken.
     pub fn verify_soundness(&self) -> Result<usize, ValidationError> {
         let ds = self.declarations();
+        // Declarations are time-sorted, so the cursor only moves forward;
+        // the whole pass applies each journal entry at most once.
+        let journal = self.journal.borrow();
+        let mut cursor = self.cursor.borrow_mut();
+        let mut oracle = self.oracle.borrow_mut();
         for d in &ds {
-            let g = self.graph_at(d.at)?;
-            if !oracle::is_on_black_cycle(&g, d.detector) {
+            let g = cursor
+                .seek(&journal, d.at)
+                .map_err(|e| ValidationError::IllegalHistory {
+                    detail: e.to_string(),
+                })?;
+            if !oracle.is_on_black_cycle(g, d.detector) {
                 return Err(ValidationError::FalseDeadlock { report: *d });
             }
         }
@@ -285,8 +307,17 @@ impl BasicNet {
     /// [`ValidationError::MissedDeadlock`] listing an undetected cycle's
     /// members, or [`ValidationError::IllegalHistory`].
     pub fn verify_completeness(&self) -> Result<usize, ValidationError> {
-        let g = self.current_graph()?;
-        let sccs = oracle::dark_sccs(&g);
+        let journal = self.journal.borrow();
+        let mut cursor = self.cursor.borrow_mut();
+        let g =
+            cursor
+                .seek(&journal, SimTime::MAX)
+                .map_err(|e| ValidationError::IllegalHistory {
+                    detail: e.to_string(),
+                })?;
+        // The free function keeps `MissedDeadlock` member order pinned
+        // (Tarjan pop order), independent of the memoized oracle state.
+        let sccs = oracle::dark_sccs(g);
         let mut total = 0;
         for scc in sccs.into_iter().filter(|c| c.len() >= 2) {
             total += scc.len();

@@ -12,12 +12,14 @@
 //! * **soundness** — a declared process must (still) be on a dark cycle;
 //! * **completeness** — every cycle must contain a declared process.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use simnet::metrics::Metrics;
 use simnet::sim::{Context, NodeId, RunOutcome, SimBuilder, Simulation};
 use simnet::time::SimTime;
+use wfg::oracle::Oracle;
 use wfg::{oracle, WaitForGraph};
 
 use crate::config::DdbConfig;
@@ -91,6 +93,10 @@ impl std::error::Error for DdbValidationError {}
 pub struct DdbNet {
     sim: Simulation<DdbMsg, Controller>,
     n_sites: usize,
+    /// Shared ground-truth oracle: reconstructed agent graphs are fresh
+    /// objects each time (no memo hits), but the Tarjan scratch buffers
+    /// are reused across every validation query.
+    oracle: RefCell<Oracle>,
 }
 
 impl fmt::Debug for DdbNet {
@@ -114,7 +120,11 @@ impl DdbNet {
         for s in 0..n_sites {
             sim.add_node(Controller::new(SiteId(s), cfg));
         }
-        DdbNet { sim, n_sites }
+        DdbNet {
+            sim,
+            n_sites,
+            oracle: RefCell::new(Oracle::new()),
+        }
     }
 
     /// Number of sites.
@@ -250,7 +260,8 @@ impl DdbNet {
     /// reconstructed graph (on some dark cycle), as `(txn, site)` agents.
     pub fn deadlocked_agents(&self) -> Vec<AgentId> {
         let (g, index) = self.agent_graph();
-        let members = oracle::dark_cycle_members(&g);
+        let mut oracle = self.oracle.borrow_mut();
+        let members = oracle.dark_cycle_members(&g);
         index
             .into_iter()
             .filter(|&(_, v)| members.contains(&v))
@@ -268,7 +279,8 @@ impl DdbNet {
     /// [`DdbValidationError::FalseDeadlock`] on the first violation.
     pub fn verify_soundness(&self) -> Result<usize, DdbValidationError> {
         let (g, index) = self.agent_graph();
-        let members = oracle::dark_cycle_members(&g);
+        let mut oracle = self.oracle.borrow_mut();
+        let members = oracle.dark_cycle_members(&g);
         let ds = self.declarations();
         for d in &ds {
             let agent = AgentId::new(d.txn, d.site);

@@ -22,10 +22,22 @@
 //! rest of the workspace builds on this guarantee — if a simulation drives
 //! its graph only through this API, every reachable graph state is a legal
 //! state of the paper's model.
+//!
+//! # Representation
+//!
+//! Internally the graph is **dense**: every [`NodeId`] that ever appears is
+//! interned to a compact `u32` index, and adjacency is `Vec`-indexed rows
+//! (sorted by neighbour `NodeId`, so iteration at the API boundary keeps
+//! the historical `BTreeMap` order). The [`crate::oracle`] queries run over
+//! these dense rows (and a CSR snapshot of the dark subgraph) instead of
+//! pointer-chasing tree maps. A monotone [`WaitForGraph::version`] counter
+//! and a dark-edge delta log let [`crate::oracle::Oracle`] memoize and
+//! incrementally maintain ground-truth answers across mutations.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 use simnet::sim::NodeId;
@@ -146,11 +158,24 @@ impl fmt::Display for AxiomViolation {
 
 impl Error for AxiomViolation {}
 
+/// Process-wide source of unique graph identities for oracle memoization.
+/// Values never repeat, so an [`crate::oracle::Oracle`] can tell two graph
+/// objects apart even when their version counters coincide. Identities are
+/// never ordered or exposed, so assignment order cannot affect determinism.
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A wait-for graph that enforces axioms G1–G4.
 ///
 /// Vertices exist implicitly (the paper assumes vertices for unborn and
 /// terminated processes); a vertex "appears" in iteration only while it has
 /// at least one incident edge.
+///
+/// Equality compares the *edge sets* (with colours), not internal layout:
+/// two graphs are equal iff they contain the same coloured edges.
 ///
 /// # Examples
 ///
@@ -171,31 +196,128 @@ impl Error for AxiomViolation {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct WaitForGraph {
-    out: BTreeMap<NodeId, BTreeMap<NodeId, EdgeColour>>,
-    rin: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// `NodeId` → dense index; `BTreeMap` keeps boundary iteration in
+    /// ascending `NodeId` order. Interned ids are never recycled — a vertex
+    /// whose edges have all been deleted simply becomes invisible.
+    ids: BTreeMap<NodeId, u32>,
+    /// Dense index → `NodeId`.
+    nodes: Vec<NodeId>,
+    /// `out[u]`: `(dense head, colour)`, sorted by head `NodeId`.
+    out: Vec<Vec<(u32, EdgeColour)>>,
+    /// `rin[v]`: dense tails, sorted by tail `NodeId`.
+    rin: Vec<Vec<u32>>,
+    /// Number of edges currently present (any colour).
+    n_edges: usize,
+    /// Bumped on every successful mutation.
+    version: u64,
+    /// Bumped whenever a dark edge is removed (whiten) or the graph content
+    /// is replaced wholesale (`clear`/`restore_from`); while it holds
+    /// still, dark-cycle membership can only grow.
+    shrink_epoch: u64,
+    /// Dark edges (dense pairs) created since the last shrink event, in
+    /// creation order. Lets the oracle re-run Tarjan only on the region the
+    /// new edges can affect.
+    dark_adds: Vec<(u32, u32)>,
+    /// Unique object identity for oracle memoization (fresh per clone).
+    uid: u64,
 }
+
+impl Default for WaitForGraph {
+    fn default() -> Self {
+        WaitForGraph::new()
+    }
+}
+
+impl Clone for WaitForGraph {
+    /// Clones the graph *content*; the clone gets a fresh identity so
+    /// oracle memos for the original can never be mistaken for answers
+    /// about the (independently mutable) clone.
+    fn clone(&self) -> Self {
+        WaitForGraph {
+            ids: self.ids.clone(),
+            nodes: self.nodes.clone(),
+            out: self.out.clone(),
+            rin: self.rin.clone(),
+            n_edges: self.n_edges,
+            version: self.version,
+            shrink_epoch: self.shrink_epoch,
+            dark_adds: self.dark_adds.clone(),
+            uid: fresh_uid(),
+        }
+    }
+}
+
+impl PartialEq for WaitForGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_edges == other.n_edges && self.edges().eq(other.edges())
+    }
+}
+
+impl Eq for WaitForGraph {}
 
 impl WaitForGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        WaitForGraph::default()
+        WaitForGraph {
+            ids: BTreeMap::new(),
+            nodes: Vec::new(),
+            out: Vec::new(),
+            rin: Vec::new(),
+            n_edges: 0,
+            version: 0,
+            shrink_epoch: 0,
+            dark_adds: Vec::new(),
+            uid: fresh_uid(),
+        }
+    }
+
+    /// Monotone mutation counter: bumped by every successful mutation
+    /// (including [`WaitForGraph::clear`]). Lets callers cheaply detect
+    /// "has this graph changed since I last looked?".
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of edges currently present (any colour).
     pub fn edge_count(&self) -> usize {
-        self.out.values().map(|m| m.len()).sum()
+        self.n_edges
     }
 
     /// `true` if the graph has no edges.
     pub fn is_empty(&self) -> bool {
-        self.out.values().all(|m| m.is_empty())
+        self.n_edges == 0
+    }
+
+    fn idx(&self, v: NodeId) -> Option<u32> {
+        self.ids.get(&v).copied()
+    }
+
+    fn intern(&mut self, v: NodeId) -> u32 {
+        if let Some(&i) = self.ids.get(&v) {
+            return i;
+        }
+        let i = u32::try_from(self.nodes.len()).expect("fewer than 2^32 vertices");
+        self.ids.insert(v, i);
+        self.nodes.push(v);
+        self.out.push(Vec::new());
+        self.rin.push(Vec::new());
+        i
+    }
+
+    /// Position of `to` in `out[u]` (rows are sorted by head `NodeId`).
+    fn find_out(&self, u: u32, to: NodeId) -> Result<usize, usize> {
+        let nodes = &self.nodes;
+        self.out[u as usize].binary_search_by(|&(h, _)| nodes[h as usize].cmp(&to))
     }
 
     /// The colour of edge `(from, to)`, or `None` if absent.
     pub fn colour(&self, from: NodeId, to: NodeId) -> Option<EdgeColour> {
-        self.out.get(&from).and_then(|m| m.get(&to)).copied()
+        let ui = self.idx(from)?;
+        self.find_out(ui, to)
+            .ok()
+            .map(|pos| self.out[ui as usize][pos].1)
     }
 
     /// `true` if edge `(from, to)` exists in any colour.
@@ -213,13 +335,25 @@ impl WaitForGraph {
         if from == to {
             return Err(AxiomViolation::SelfLoop { node: from });
         }
-        let slot = self.out.entry(from).or_default();
-        if slot.contains_key(&to) {
-            return Err(AxiomViolation::EdgeExists { from, to });
+        let ui = self.intern(from);
+        let vi = self.intern(to);
+        match self.find_out(ui, to) {
+            Ok(_) => Err(AxiomViolation::EdgeExists { from, to }),
+            Err(pos) => {
+                self.out[ui as usize].insert(pos, (vi, EdgeColour::Grey));
+                let rpos = {
+                    let nodes = &self.nodes;
+                    self.rin[vi as usize]
+                        .binary_search_by(|&t| nodes[t as usize].cmp(&from))
+                        .expect_err("edge was absent")
+                };
+                self.rin[vi as usize].insert(rpos, ui);
+                self.n_edges += 1;
+                self.version += 1;
+                self.dark_adds.push((ui, vi));
+                Ok(())
+            }
         }
-        slot.insert(to, EdgeColour::Grey);
-        self.rin.entry(to).or_default().insert(from);
-        Ok(())
     }
 
     /// G2: turn grey edge `(from, to)` black (the request arrived).
@@ -245,7 +379,12 @@ impl WaitForGraph {
                 return Err(AxiomViolation::ReplierBlocked { from, to });
             }
         }
-        self.transition(from, to, EdgeColour::Black, EdgeColour::White)
+        self.transition(from, to, EdgeColour::Black, EdgeColour::White)?;
+        // A dark edge left the dark subgraph: memoized oracle state built
+        // on the grown-only delta log is no longer extendable.
+        self.shrink_epoch += 1;
+        self.dark_adds.clear();
+        Ok(())
     }
 
     /// G4: delete white edge `(from, to)` (the reply arrived).
@@ -254,14 +393,27 @@ impl WaitForGraph {
     ///
     /// [`AxiomViolation::NoSuchEdge`] or [`AxiomViolation::WrongColour`].
     pub fn delete_white(&mut self, from: NodeId, to: NodeId) -> Result<(), AxiomViolation> {
-        match self.colour(from, to) {
-            None => Err(AxiomViolation::NoSuchEdge { from, to }),
-            Some(EdgeColour::White) => {
-                self.out.get_mut(&from).expect("edge exists").remove(&to);
-                self.rin.get_mut(&to).expect("edge exists").remove(&from);
+        let Some(ui) = self.idx(from) else {
+            return Err(AxiomViolation::NoSuchEdge { from, to });
+        };
+        let Ok(pos) = self.find_out(ui, to) else {
+            return Err(AxiomViolation::NoSuchEdge { from, to });
+        };
+        match self.out[ui as usize][pos].1 {
+            EdgeColour::White => {
+                let (vi, _) = self.out[ui as usize].remove(pos);
+                let rpos = {
+                    let nodes = &self.nodes;
+                    self.rin[vi as usize]
+                        .binary_search_by(|&t| nodes[t as usize].cmp(&from))
+                        .expect("reverse index consistent")
+                };
+                self.rin[vi as usize].remove(rpos);
+                self.n_edges -= 1;
+                self.version += 1;
                 Ok(())
             }
-            Some(found) => Err(AxiomViolation::WrongColour {
+            found => Err(AxiomViolation::WrongColour {
                 from,
                 to,
                 found,
@@ -277,27 +429,67 @@ impl WaitForGraph {
         expected: EdgeColour,
         new: EdgeColour,
     ) -> Result<(), AxiomViolation> {
-        match self.out.get_mut(&from).and_then(|m| m.get_mut(&to)) {
-            None => Err(AxiomViolation::NoSuchEdge { from, to }),
-            Some(c) if *c == expected => {
-                *c = new;
-                Ok(())
-            }
-            Some(c) => Err(AxiomViolation::WrongColour {
+        let Some(ui) = self.idx(from) else {
+            return Err(AxiomViolation::NoSuchEdge { from, to });
+        };
+        let Ok(pos) = self.find_out(ui, to) else {
+            return Err(AxiomViolation::NoSuchEdge { from, to });
+        };
+        let c = &mut self.out[ui as usize][pos].1;
+        if *c == expected {
+            *c = new;
+            self.version += 1;
+            Ok(())
+        } else {
+            Err(AxiomViolation::WrongColour {
                 from,
                 to,
                 found: *c,
                 expected,
-            }),
+            })
         }
+    }
+
+    /// Removes **all** edges at once, keeping interned vertices and row
+    /// allocations for reuse. Unlike the per-edge mutators this bypasses
+    /// the axioms — it models tearing a snapshot down to rebuild it (e.g.
+    /// a coordinator's per-round view), not a legal evolution of one
+    /// history. Bumps both [`WaitForGraph::version`] and the shrink epoch.
+    pub fn clear(&mut self) {
+        for row in &mut self.out {
+            row.clear();
+        }
+        for row in &mut self.rin {
+            row.clear();
+        }
+        self.n_edges = 0;
+        self.version += 1;
+        self.shrink_epoch += 1;
+        self.dark_adds.clear();
+    }
+
+    /// Replaces this graph's content with a copy of `other`'s, reusing
+    /// allocations where possible. Identity (`uid`) is kept — the receiver
+    /// is still "the same graph object" to oracle memos, so the shrink
+    /// epoch is bumped to invalidate them. Used by
+    /// [`crate::journal::ReplayCursor`] to rewind to a checkpoint.
+    pub(crate) fn restore_from(&mut self, other: &WaitForGraph) {
+        self.ids.clone_from(&other.ids);
+        self.nodes.clone_from(&other.nodes);
+        self.out.clone_from(&other.out);
+        self.rin.clone_from(&other.rin);
+        self.n_edges = other.n_edges;
+        self.version += 1;
+        self.shrink_epoch += 1;
+        self.dark_adds.clear();
     }
 
     /// Outgoing edges of `v`, in head order.
     pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
-        self.out.get(&v).into_iter().flat_map(move |m| {
-            m.iter().map(move |(&to, &colour)| Edge {
+        self.idx(v).into_iter().flat_map(move |ui| {
+            self.out[ui as usize].iter().map(move |&(h, colour)| Edge {
                 from: v,
-                to,
+                to: self.nodes[h as usize],
                 colour,
             })
         })
@@ -305,18 +497,21 @@ impl WaitForGraph {
 
     /// Incoming edges of `v`, in tail order.
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
-        self.rin.get(&v).into_iter().flat_map(move |s| {
-            s.iter().map(move |&from| Edge {
-                from,
-                to: v,
-                colour: self.colour(from, v).expect("reverse index consistent"),
+        self.idx(v).into_iter().flat_map(move |vi| {
+            self.rin[vi as usize].iter().map(move |&t| {
+                let pos = self.find_out(t, v).expect("reverse index consistent");
+                Edge {
+                    from: self.nodes[t as usize],
+                    to: v,
+                    colour: self.out[t as usize][pos].1,
+                }
             })
         })
     }
 
     /// Number of outgoing edges of `v`.
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out.get(&v).map_or(0, |m| m.len())
+        self.idx(v).map_or(0, |i| self.out[i as usize].len())
     }
 
     /// `true` if `v` has no outgoing edges ("active", able to reply).
@@ -332,20 +527,88 @@ impl WaitForGraph {
 
     /// All edges, ordered by `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.out.iter().flat_map(|(&from, m)| {
-            m.iter()
-                .map(move |(&to, &colour)| Edge { from, to, colour })
+        self.ids.iter().flat_map(move |(&from, &ui)| {
+            self.out[ui as usize].iter().map(move |&(h, colour)| Edge {
+                from,
+                to: self.nodes[h as usize],
+                colour,
+            })
         })
     }
 
-    /// All vertices with at least one incident edge, in id order.
+    /// All vertices with at least one incident edge, in id order, without
+    /// allocating. Prefer this over [`WaitForGraph::vertices`] when only
+    /// iterating.
+    pub fn vertex_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ids.iter().filter_map(move |(&v, &i)| {
+            (!self.out[i as usize].is_empty() || !self.rin[i as usize].is_empty()).then_some(v)
+        })
+    }
+
+    /// All vertices with at least one incident edge, in id order, as an
+    /// owned set (see [`WaitForGraph::vertex_iter`] for the borrowing
+    /// equivalent).
     pub fn vertices(&self) -> BTreeSet<NodeId> {
-        let mut vs = BTreeSet::new();
-        for e in self.edges() {
-            vs.insert(e.from);
-            vs.insert(e.to);
-        }
-        vs
+        self.vertex_iter().collect()
+    }
+
+    // ---- dense accessors for the oracle (crate-internal) ----------------
+
+    /// Number of interned vertices (dense id space size).
+    pub(crate) fn dense_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Dense index of `v`, if it has ever been interned.
+    pub(crate) fn dense_index(&self, v: NodeId) -> Option<u32> {
+        self.idx(v)
+    }
+
+    /// `NodeId` of dense vertex `i`.
+    pub(crate) fn dense_node(&self, i: u32) -> NodeId {
+        self.nodes[i as usize]
+    }
+
+    /// Outgoing row of dense vertex `i`, sorted by head `NodeId`.
+    pub(crate) fn dense_out(&self, i: u32) -> &[(u32, EdgeColour)] {
+        &self.out[i as usize]
+    }
+
+    /// Incoming tails of dense vertex `i`, sorted by tail `NodeId`.
+    pub(crate) fn dense_in(&self, i: u32) -> &[u32] {
+        &self.rin[i as usize]
+    }
+
+    /// Colour of the dense edge `(u, v)`, or `None` if absent.
+    pub(crate) fn dense_colour(&self, u: u32, v: u32) -> Option<EdgeColour> {
+        self.find_out(u, self.nodes[v as usize])
+            .ok()
+            .map(|pos| self.out[u as usize][pos].1)
+    }
+
+    /// Dense ids of vertices with at least one incident edge, in `NodeId`
+    /// order — the oracle's root iteration order (matches the historical
+    /// `BTreeSet`-of-endpoints order).
+    pub(crate) fn incident_dense_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids
+            .values()
+            .copied()
+            .filter(move |&i| !self.out[i as usize].is_empty() || !self.rin[i as usize].is_empty())
+    }
+
+    /// Unique object identity (fresh per clone) for oracle memoization.
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Epoch of the last dark-edge removal (or wholesale replacement).
+    pub(crate) fn shrink_epoch(&self) -> u64 {
+        self.shrink_epoch
+    }
+
+    /// Dark edges created since the last shrink event, in creation order.
+    pub(crate) fn dark_adds(&self) -> &[(u32, u32)] {
+        &self.dark_adds
     }
 
     /// Renders the graph in Graphviz DOT format, edges coloured by state
@@ -354,7 +617,7 @@ impl WaitForGraph {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph wait_for {\n  rankdir=LR;\n  node [shape=circle];\n");
-        for v in self.vertices() {
+        for v in self.vertex_iter() {
             let _ = writeln!(out, "  p{};", v.0);
         }
         for e in self.edges() {
@@ -536,10 +799,77 @@ mod tests {
         g.blacken(n(0), n(1)).unwrap();
         g.create_grey(n(1), n(2)).unwrap();
         let before = g.clone();
+        let version = g.version();
         let _ = g.whiten(n(0), n(1)); // G3 violation
         let _ = g.create_grey(n(0), n(1)); // G1 violation
         let _ = g.delete_white(n(0), n(1)); // wrong colour
         assert_eq!(g, before);
+        assert_eq!(g.version(), version, "failed mutations must not bump");
+    }
+
+    #[test]
+    fn version_bumps_on_every_successful_mutation() {
+        let mut g = WaitForGraph::new();
+        let v0 = g.version();
+        g.create_grey(n(0), n(1)).unwrap();
+        g.blacken(n(0), n(1)).unwrap();
+        g.whiten(n(0), n(1)).unwrap();
+        g.delete_white(n(0), n(1)).unwrap();
+        assert_eq!(g.version(), v0 + 4);
+        g.clear();
+        assert_eq!(g.version(), v0 + 5);
+    }
+
+    #[test]
+    fn vertex_iter_matches_vertices_and_skips_ghosts() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(4), n(2)).unwrap();
+        g.create_grey(n(0), n(4)).unwrap();
+        assert_eq!(g.vertex_iter().collect::<Vec<_>>(), vec![n(0), n(2), n(4)]);
+        // Deleting 4 -> 2 leaves 2 interned but invisible.
+        g.blacken(n(4), n(2)).unwrap();
+        g.whiten(n(4), n(2)).unwrap();
+        g.delete_white(n(4), n(2)).unwrap();
+        assert_eq!(g.vertex_iter().collect::<Vec<_>>(), vec![n(0), n(4)]);
+        assert_eq!(g.vertices(), g.vertex_iter().collect());
+    }
+
+    #[test]
+    fn clear_resets_edges_but_keeps_api_semantics() {
+        let mut g = WaitForGraph::new();
+        g.create_grey(n(0), n(1)).unwrap();
+        g.create_grey(n(1), n(2)).unwrap();
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.vertex_iter().count(), 0);
+        assert_eq!(g, WaitForGraph::new());
+        // Rebuilding after clear works (interned ids are reused).
+        g.create_grey(n(1), n(0)).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.colour(n(1), n(0)), Some(EdgeColour::Grey));
+    }
+
+    #[test]
+    fn equality_is_over_edges_not_layout() {
+        // Same edges reached via different histories (and thus different
+        // intern orders) compare equal.
+        let mut a = WaitForGraph::new();
+        a.create_grey(n(2), n(1)).unwrap();
+        a.create_grey(n(0), n(1)).unwrap();
+        let mut b = WaitForGraph::new();
+        b.create_grey(n(0), n(1)).unwrap();
+        b.create_grey(n(2), n(1)).unwrap();
+        assert_eq!(a, b);
+        b.blacken(n(0), n(1)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clones_have_distinct_identities() {
+        let g = WaitForGraph::new();
+        let h = g.clone();
+        assert_ne!(g.uid(), h.uid());
+        assert_eq!(g, h);
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! This crate provides:
 //!
 //! * [`graph::WaitForGraph`] — the coloured graph with axioms G1–G4
-//!   *enforced* (illegal mutations are rejected);
+//!   *enforced* (illegal mutations are rejected), backed by a dense
+//!   interned-id core so traversals are index arithmetic, not tree walks;
 //! * [`oracle`] — centralised ground-truth queries (dark-cycle membership,
 //!   permanently blocked sets, WFGD closures) used to validate the
-//!   distributed algorithm;
+//!   distributed algorithm; hot paths hold an [`oracle::Oracle`] for
+//!   memoized, incrementally-maintained answers;
 //! * [`generators`] — topologies for tests and experiments;
-//! * [`journal`] — timestamped mutation journals for as-of-time replay.
+//! * [`journal`] — timestamped mutation journals for as-of-time replay,
+//!   with [`journal::ReplayCursor`] for cheap repeated seeks.
 //!
 //! ```
 //! use simnet::sim::NodeId;

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use simnet::sim::NodeId;
 use simnet::time::SimTime;
 use wfg::graph::{EdgeColour, WaitForGraph};
-use wfg::journal::{GraphOp, Journal};
-use wfg::oracle;
+use wfg::journal::{GraphOp, Journal, ReplayCursor};
+use wfg::oracle::{self, Oracle};
 
 const V: usize = 6;
 
@@ -134,6 +134,64 @@ proptest! {
             for e in g.out_edges(m) {
                 prop_assert!(r.contains(&e.to));
             }
+        }
+    }
+
+    /// The incremental `Oracle` agrees with the from-scratch SCC functions
+    /// and with brute force **after every mutation** of a random churn
+    /// sequence — exercising memo hits (repeat queries), the incremental
+    /// grow path (runs of creations) and full invalidation (whitens).
+    #[test]
+    fn incremental_oracle_matches_scratch_under_churn(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut g = WaitForGraph::new();
+        let mut incr = Oracle::new();
+        for &op in &ops {
+            let _ = op.apply(&mut g);
+            let scratch: Vec<NodeId> = oracle::dark_sccs(&g)
+                .into_iter()
+                .filter(|c| c.len() >= 2)
+                .flatten()
+                .collect();
+            let scratch_set: std::collections::BTreeSet<NodeId> =
+                scratch.into_iter().collect();
+            prop_assert_eq!(incr.dark_cycle_members(&g), &scratch_set);
+            for v in 0..V {
+                let v = NodeId(v);
+                prop_assert_eq!(
+                    incr.is_on_dark_cycle(&g, v),
+                    oracle::is_on_dark_cycle_bruteforce(&g, v),
+                    "vertex {}", v
+                );
+            }
+            // The derived memoized queries agree with their free twins too.
+            prop_assert_eq!(incr.permanently_blocked(&g), &oracle::permanently_blocked(&g));
+            prop_assert_eq!(incr.knots(&g), &oracle::knots(&g)[..]);
+        }
+    }
+
+    /// A checkpointed cursor seeking to random times (forwards and
+    /// backwards, with a deliberately tiny spacing so checkpoint restores
+    /// actually trigger) always produces exactly the from-scratch
+    /// `replay_until` graph.
+    #[test]
+    fn cursor_matches_replay_until(
+        ops in proptest::collection::vec(op_strategy(), 0..120),
+        queries in proptest::collection::vec(0u64..140, 1..24),
+        spacing in 1usize..9,
+    ) {
+        let (_, accepted) = apply_legal(&ops);
+        let mut j = Journal::new();
+        for (i, &op) in accepted.iter().enumerate() {
+            j.record(SimTime::from_ticks(i as u64), op);
+        }
+        let mut cursor = ReplayCursor::with_spacing(spacing);
+        for &q in &queries {
+            let at = SimTime::from_ticks(q);
+            let scratch = j.replay_until(at).expect("legal history");
+            let via_cursor = cursor.seek(&j, at).expect("legal history");
+            prop_assert_eq!(via_cursor, &scratch, "divergence at t={}", q);
         }
     }
 }
