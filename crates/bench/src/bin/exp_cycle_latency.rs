@@ -11,6 +11,7 @@
 //! the time attributable to ground-truth oracle queries (`oracle_ms`) —
 //! lands in `target/experiments/bench/exp_cycle_latency.json`.
 
+// cmh-lint: allow-file(D2) — bench timing: wall-clock run duration in the emitted record only.
 use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;

@@ -24,6 +24,7 @@
 //! [`cmh_bench::record::BenchRecord`] with aggregate throughput lands in
 //! `target/experiments/bench/exp_faults.json`.
 
+// cmh-lint: allow-file(D2) — bench timing: wall-clock run duration in the emitted record only.
 use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;

@@ -12,6 +12,7 @@
 //! [`cmh_bench::record::BenchRecord`] with aggregate throughput lands in
 //! `target/experiments/bench/exp_probe_bounds.json`.
 
+// cmh-lint: allow-file(D2) — bench timing: wall-clock run duration in the emitted record only.
 use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;

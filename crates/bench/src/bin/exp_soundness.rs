@@ -12,6 +12,7 @@
 //! The paper proves the probe computation reports **zero** phantoms; the
 //! baselines trade that away.
 
+// cmh-lint: allow-file(D2) — bench timing: wall-clock run duration in the emitted record only.
 use std::time::Instant;
 
 use baselines::{CentralNet, SnapshotMode, TimeoutNet};

@@ -11,6 +11,9 @@
 //! The JSON is emitted by hand: the workspace's vendored `serde` shim has
 //! no-op derives, so nothing here relies on serialization machinery.
 
+// cmh-lint: allow-file(D2) — bench timing: records carry real elapsed
+// wall time; simulation outcomes never depend on it.
+
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;

@@ -22,7 +22,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -98,6 +98,10 @@ pub mod counters {
     pub const WFGD_SENT: &str = "wfgd.sent";
     /// Delayed initiations avoided because the edge disappeared within `T`.
     pub const INITIATION_AVOIDED: &str = "probe.initiation.avoided";
+    /// Stale replies dropped: a `Reply` arrived for an edge this process
+    /// no longer holds (fault injection only — a duplicated reply, or a
+    /// reply outliving a crash/restart that rebuilt the wait set).
+    pub const REPLY_STALE: &str = "basic.reply.stale";
 }
 
 const TAG_SERVE: u64 = 0;
@@ -128,7 +132,10 @@ pub struct BasicProcess {
     /// delayed-initiation timers detect that "their" edge was deleted and a
     /// new one created.
     wait_epoch: Vec<u64>,
-    delayed_timers: HashMap<TimerId, (NodeId, u64)>,
+    /// Pending delayed-initiation timers. `BTreeMap`, not `HashMap`
+    /// (cmh-lint D1): only keyed insert/remove today, but ordered by
+    /// construction so no future iteration can depend on `RandomState`.
+    delayed_timers: BTreeMap<TimerId, (NodeId, u64)>,
     serve_timer_pending: bool,
     /// Shared mutation journal (validation only — never read here).
     journal: Option<Rc<RefCell<Journal>>>,
@@ -166,7 +173,7 @@ impl BasicProcess {
             declarations: Vec::new(),
             wfgd: WfgdState::new(),
             wait_epoch: Vec::new(),
-            delayed_timers: HashMap::new(),
+            delayed_timers: BTreeMap::new(),
             serve_timer_pending: false,
             journal: None,
             probes_sent_per_tag: BTreeMap::new(),
@@ -437,8 +444,16 @@ impl Process<BasicMsg> for BasicProcess {
             }
             BasicMsg::Reply => {
                 // The reply's arrival deletes the (white) edge (me, from).
-                debug_assert!(self.out_waits.contains(&from), "reply without request");
-                self.out_waits.remove(&from);
+                // On a faulty wire (no reliable layer) a reply can arrive
+                // for an edge this process no longer holds: the fault plan
+                // duplicated the reply, or a reply outlived a crash/restart
+                // that rebuilt the wait set. P1/P2 don't hold there, so a
+                // reply with no matching edge is dropped and counted — it
+                // must not reach the journal as a bogus delete.
+                if !self.out_waits.remove(&from) {
+                    ctx.count(counters::REPLY_STALE);
+                    return;
+                }
                 self.record(ctx, GraphOp::DeleteWhite(ctx.id(), from));
                 // Becoming active may allow this process to serve others.
                 self.schedule_serve_if_needed(ctx);

@@ -7,6 +7,9 @@
 //! input order — determinism of the aggregate is preserved because each
 //! run's result depends only on its input.
 //!
+//! This module is the thread pool behind the one sanctioned parallelism
+//! site, `cmh_bench::sweep`; no simulation code runs across threads.
+//!
 //! # Examples
 //!
 //! ```
@@ -15,6 +18,9 @@
 //! let squares = par_map((0u64..100).collect(), |x| x * x);
 //! assert_eq!(squares[7], 49);
 //! ```
+
+// cmh-lint: allow-file(D4) — the thread pool behind cmh_bench::sweep:
+// fans independent seeded runs across cores; each run stays single-threaded.
 
 /// Applies `f` to every item on a pool of OS threads; results come back in
 /// input order. Uses up to `available_parallelism` threads (capped by the

@@ -35,7 +35,7 @@
 //! Enable with [`crate::sim::SimBuilder::reliable`]; tune with
 //! [`ReliableConfig`].
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::sim::NodeId;
 
@@ -141,19 +141,24 @@ impl RecvChannel {
 
 /// All reliable-transport state of one simulation: both halves of every
 /// ordered channel, keyed by `(sender, receiver)`.
+///
+/// `BTreeMap`, not `HashMap` (cmh-lint D1): accesses are keyed lookups
+/// today, but a `HashMap`'s randomized iteration order is a determinism
+/// trap the moment anyone walks the channels — e.g. for a retransmission
+/// scan or a debug dump.
 #[derive(Debug)]
 pub(crate) struct ReliableState<M> {
     pub(crate) cfg: ReliableConfig,
-    pub(crate) senders: HashMap<(NodeId, NodeId), SendChannel<M>>,
-    pub(crate) receivers: HashMap<(NodeId, NodeId), RecvChannel>,
+    pub(crate) senders: BTreeMap<(NodeId, NodeId), SendChannel<M>>,
+    pub(crate) receivers: BTreeMap<(NodeId, NodeId), RecvChannel>,
 }
 
 impl<M> ReliableState<M> {
     pub(crate) fn new(cfg: ReliableConfig) -> Self {
         ReliableState {
             cfg,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
         }
     }
 }

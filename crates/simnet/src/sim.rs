@@ -97,7 +97,7 @@ impl fmt::Display for NodeId {
 /// (see [`crate::equeue`]), so cancellation removes the timer event from
 /// the queue in `O(log n)` — there is no tombstone set to grow — and a
 /// stale id (timer already fired or cancelled) is a safe no-op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(u64);
 
 /// A simulated process.

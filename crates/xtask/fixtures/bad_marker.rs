@@ -1,0 +1,3 @@
+// Fixture: malformed markers are findings themselves.
+pub fn f() {} // cmh-lint: allow(D9) — no such rule
+pub fn g() {} // cmh-lint: allow(D1)

@@ -1,0 +1,6 @@
+// Fixture: a trailing allow marker waives D1 on its own line.
+use std::collections::HashSet; // cmh-lint: allow(D1) — fixture: membership checks only, never iterated
+
+pub fn has(s: &HashSet<u32>, x: u32) -> bool { // cmh-lint: allow(D1) — fixture: membership checks only
+    s.contains(&x)
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 must fire on randomized-hash collections.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}

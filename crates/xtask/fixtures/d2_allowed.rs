@@ -1,0 +1,5 @@
+// Fixture: a standalone allow marker waives the next code line (D2).
+// cmh-lint: allow(D2) — fixture: times the host process, not the simulation
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,6 @@
+// Fixture: D2 must fire on wall-clock reads.
+pub fn stamp() -> u128 {
+    let started = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    started.elapsed().as_millis()
+}

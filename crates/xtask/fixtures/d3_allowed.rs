@@ -1,0 +1,2 @@
+// Fixture: allow marker waiving D3 on a RandomState mention.
+use std::collections::hash_map::RandomState; // cmh-lint: allow(D3) — fixture: documenting what not to use

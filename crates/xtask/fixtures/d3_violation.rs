@@ -1,0 +1,9 @@
+// Fixture: D3 must fire on unseeded randomness.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..6)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,7 @@
+// Fixture: a file-scoped marker waives D4 for the whole file.
+// cmh-lint: allow-file(D4) — fixture: sanctioned cross-run parallelism demo
+pub fn pool() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {});
+    });
+}

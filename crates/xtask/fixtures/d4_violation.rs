@@ -1,0 +1,6 @@
+// Fixture: D4 must fire on thread spawns (once per line, not per pattern).
+pub fn fan_out() {
+    std::thread::spawn(|| {}).join().unwrap();
+    let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let _ = n;
+}

@@ -1,0 +1,4 @@
+// Fixture: allow marker waiving D5 on a deliberate stub.
+pub fn stub() {
+    unimplemented!("stub kept on purpose") // cmh-lint: allow(D5) — fixture: deliberate unreachable stub
+}

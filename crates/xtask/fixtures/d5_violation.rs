@@ -1,0 +1,16 @@
+// Fixture: D5 fires in non-test code but not inside #[cfg(test)] blocks.
+pub fn later() {
+    todo!("finish me")
+}
+
+pub fn debugging(x: u32) -> u32 {
+    dbg!(x)
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside the gated module D5 must stay silent.
+    fn scratch() {
+        todo!()
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture crate root carrying the required header block (D6 clean).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {}

@@ -1,0 +1,3 @@
+//! Fixture crate root missing both required header attributes (D6).
+
+pub fn noop() {}

@@ -1,0 +1,320 @@
+//! A minimal Rust source lexer for the lint pass.
+//!
+//! The scanner does not need a full AST — every rule in `cmh-lint` keys on
+//! identifiers, paths and macro names. What it *does* need, to avoid false
+//! positives, is to know which bytes of a file are **code** and which are
+//! comments, string literals or char literals. This module produces a
+//! "blanked" copy of the source — byte-for-byte the same shape, with the
+//! contents of comments and literals replaced by spaces — plus the comment
+//! texts themselves (the allow-marker grammar lives in comments) and a
+//! per-line `#[cfg(test)]` region map.
+//!
+//! Handled: line comments, nested block comments, doc comments, string
+//! literals with escapes, raw strings with arbitrary `#` fences, byte and
+//! char literals, and the char-literal / lifetime ambiguity (`'a'` vs
+//! `'a`).
+
+/// The lexed view of one source file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Source lines with comment and literal *contents* blanked to spaces.
+    /// Line numbering matches the input (1-based access via index + 1).
+    pub code_lines: Vec<String>,
+    /// `(line, text)` for every comment, with the comment introducer
+    /// (`//`, `///`, `/*`, …) stripped. A block comment spanning several
+    /// lines yields one entry per line so markers stay line-addressed.
+    pub comments: Vec<(usize, String)>,
+    /// `test_lines[i]` is true when line `i + 1` lies inside a
+    /// `#[cfg(test)]`-gated item (the repo's `mod tests { … }` pattern).
+    pub test_lines: Vec<bool>,
+}
+
+/// Lexes `source` into blanked code lines, comment texts and test regions.
+pub fn scan_source(source: &str) -> FileScan {
+    let bytes = source.as_bytes();
+    let mut blanked: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Appends one comment character to the entry for the current line.
+    fn push_comment(comments: &mut Vec<(usize, String)>, line: usize, ch: char) {
+        match comments.last_mut() {
+            Some((l, text)) if *l == line => text.push(ch),
+            _ => comments.push((line, ch.to_string())),
+        }
+    }
+
+    // Emits `n` blanking spaces.
+    fn blank(out: &mut Vec<u8>, n: usize) {
+        out.resize(out.len() + n, b' ');
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let rest = &source[i..];
+        if b == b'\n' {
+            blanked.push(b'\n');
+            line += 1;
+            i += 1;
+        } else if rest.starts_with("//") {
+            // Line comment (plain or doc); capture text, blank the bytes.
+            let start_line = line;
+            comments.push((start_line, String::new()));
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\n' {
+                j += 1;
+            }
+            for ch in source[i + 2..j].chars() {
+                push_comment(&mut comments, start_line, ch);
+            }
+            blank(&mut blanked, j - i);
+            i = j;
+        } else if rest.starts_with("/*") {
+            // Block comment, possibly nested, possibly multi-line.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            blanked.push(b' ');
+            blanked.push(b' ');
+            while j < bytes.len() && depth > 0 {
+                if source[j..].starts_with("/*") {
+                    depth += 1;
+                    blanked.push(b' ');
+                    blanked.push(b' ');
+                    j += 2;
+                } else if source[j..].starts_with("*/") {
+                    depth -= 1;
+                    blanked.push(b' ');
+                    blanked.push(b' ');
+                    j += 2;
+                } else if bytes[j] == b'\n' {
+                    blanked.push(b'\n');
+                    line += 1;
+                    j += 1;
+                } else {
+                    let ch = source[j..].chars().next().unwrap();
+                    push_comment(&mut comments, line, ch);
+                    blank(&mut blanked, ch.len_utf8());
+                    j += ch.len_utf8();
+                }
+            }
+            i = j;
+        } else if b == b'"' || (b == b'b' && rest.len() > 1 && bytes[i + 1] == b'"') {
+            // String / byte-string literal with escapes.
+            let prefix = if b == b'b' { 2 } else { 1 };
+            blank(&mut blanked, prefix);
+            let mut j = i + prefix;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => {
+                        blanked.push(b' ');
+                        blanked.push(b' ');
+                        j += 2;
+                    }
+                    b'"' => {
+                        blanked.push(b' ');
+                        j += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        blanked.push(b'\n');
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => {
+                        blanked.push(b' ');
+                        j += 1;
+                    }
+                }
+            }
+            i = j;
+        } else if (b == b'r' || (b == b'b' && rest.len() > 1 && bytes[i + 1] == b'r'))
+            && is_raw_string_start(rest)
+        {
+            // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
+            let mut j = i + if b == b'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // opening quote
+            let closer: String = std::iter::once('"')
+                .chain("#".repeat(hashes).chars())
+                .collect();
+            blank(&mut blanked, j - i);
+            while j < bytes.len() {
+                if source[j..].starts_with(&closer) {
+                    blank(&mut blanked, closer.len());
+                    j += closer.len();
+                    break;
+                }
+                if bytes[j] == b'\n' {
+                    blanked.push(b'\n');
+                    line += 1;
+                } else {
+                    blanked.push(b' ');
+                }
+                j += 1;
+            }
+            i = j;
+        } else if b == b'\'' && is_char_literal(rest) {
+            // Char literal (not a lifetime).
+            blanked.push(b' ');
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => {
+                        blanked.push(b' ');
+                        blanked.push(b' ');
+                        j += 2;
+                    }
+                    b'\'' => {
+                        blanked.push(b' ');
+                        j += 1;
+                        break;
+                    }
+                    _ => {
+                        blanked.push(b' ');
+                        j += 1;
+                    }
+                }
+            }
+            i = j;
+        } else {
+            blanked.push(b);
+            i += 1;
+        }
+    }
+
+    let blanked = String::from_utf8_lossy(&blanked).into_owned();
+    let code_lines: Vec<String> = blanked.lines().map(str::to_owned).collect();
+    let test_lines = mark_test_regions(&blanked, code_lines.len());
+    FileScan {
+        code_lines,
+        comments,
+        test_lines,
+    }
+}
+
+/// Distinguishes `r"…"` / `r#"…"#` from an identifier starting with `r`.
+fn is_raw_string_start(rest: &str) -> bool {
+    let after = if rest.starts_with('b') {
+        &rest[2..]
+    } else {
+        &rest[1..]
+    };
+    let trimmed = after.trim_start_matches('#');
+    trimmed.starts_with('"')
+}
+
+/// Distinguishes a char literal from a lifetime: a lifetime is `'ident`
+/// with no closing quote right after one element.
+fn is_char_literal(rest: &str) -> bool {
+    let mut chars = rest.chars();
+    chars.next(); // the opening quote
+    match chars.next() {
+        Some('\\') => true, // '\n', '\'', '\u{…}' — always a literal
+        // 'x' is a literal ("''" alone is not); 'abc is a lifetime.
+        Some(c) => c != '\'' && chars.next() == Some('\''),
+        None => false,
+    }
+}
+
+/// Marks the lines covered by `#[cfg(test)]`-gated brace blocks.
+///
+/// Scans the *blanked* text (so braces in strings/comments cannot
+/// confuse the matcher): after each `#[cfg(test)]` attribute, the next
+/// `{ … }` block — the gated `mod tests` body in this codebase — is
+/// brace-matched and its line span marked.
+fn mark_test_regions(blanked: &str, n_lines: usize) -> Vec<bool> {
+    let mut flags = vec![false; n_lines];
+    let bytes = blanked.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(pos) = blanked[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + pos;
+        let after = attr_at + "#[cfg(test)]".len();
+        // Find the opening brace of the gated item.
+        let Some(open_rel) = blanked[after..].find('{') else {
+            break;
+        };
+        let open = after + open_rel;
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first_line = blanked[..attr_at].bytes().filter(|&b| b == b'\n').count();
+        let last_line = blanked[..end.min(bytes.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count();
+        for flag in flags
+            .iter_mut()
+            .take((last_line + 1).min(n_lines))
+            .skip(first_line)
+        {
+            *flag = true;
+        }
+        search_from = end.min(bytes.len()).max(after);
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1;\n";
+        let scan = scan_source(src);
+        assert!(!scan.code_lines[0].contains("HashMap"));
+        assert!(scan.code_lines[0].contains("let x ="));
+        assert_eq!(scan.comments.len(), 1);
+        assert_eq!(scan.comments[0].0, 1);
+        assert!(scan.comments[0].1.contains("HashMap here"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let r = r#\"Instant\"#; }\n";
+        let scan = scan_source(src);
+        assert!(!scan.code_lines[0].contains("Instant"));
+        assert!(scan.code_lines[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn nested_block_comments_blank_fully() {
+        let src = "a /* outer /* Instant */ still */ b\n";
+        let scan = scan_source(src);
+        assert!(!scan.code_lines[0].contains("Instant"));
+        assert!(scan.code_lines[0].starts_with('a'));
+        assert!(scan.code_lines[0].contains('b'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod2() {}\n";
+        let scan = scan_source(src);
+        assert_eq!(scan.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"one\ntwo\";\nlet z = 3;\n";
+        let scan = scan_source(src);
+        assert_eq!(scan.code_lines.len(), 3);
+        assert!(scan.code_lines[2].contains("let z"));
+    }
+}

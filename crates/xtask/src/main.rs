@@ -1,0 +1,78 @@
+//! `cargo run -p xtask -- <task>` — workspace automation entry point.
+//!
+//! Tasks:
+//!
+//! * `lint [--json] [--root <dir>]` — run the cmh-lint determinism &
+//!   protocol-hygiene pass over the workspace. Exit 0 when clean, 1 when
+//!   any finding, 2 on usage or I/O errors.
+//! * `lint --fixtures [--json]` — run the pass over the bundled
+//!   known-bad fixture corpus instead (expected to find violations;
+//!   exits 1 — used as a self-check that the pass still fires).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{find_workspace_root, lint_fixtures, lint_workspace, report};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--json] [--fixtures] [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(task) = args.first() else {
+        return usage();
+    };
+    if task != "lint" {
+        return usage();
+    }
+    let mut json = false;
+    let mut fixtures = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let root = root
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            find_workspace_root(&cwd)
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let result = if fixtures {
+        lint_fixtures(&root.join("crates").join("xtask").join("fixtures"))
+    } else {
+        lint_workspace(&root)
+    };
+    let report_data = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cmh-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report::json(&report_data));
+    } else {
+        print!("{}", report::human(&report_data));
+    }
+    if report_data.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,380 @@
+//! File scanning, allow-marker parsing, and workspace discovery.
+//!
+//! ## Marker grammar
+//!
+//! Intentional exceptions are declared in a comment, line- or
+//! file-scoped (see DESIGN.md §10 for the full grammar):
+//!
+//! ```text
+//! <marker>    := "cmh-lint:" <scope> "(" <rules> ")" <sep> <reason>
+//! <scope>     := "allow" | "allow-file"
+//! <rules>     := rule id ("D1".."D6"), comma-separated
+//! <sep>       := "—" | "--" | "-"
+//! <reason>    := non-empty free text
+//! ```
+//!
+//! An `allow` marker covers the line it trails, or — when the comment
+//! stands alone — the next line containing code. An `allow-file` marker
+//! covers the whole file. Every marker is surfaced in the lint summary,
+//! so each escape hatch stays auditable; a marker that matches nothing
+//! is reported as unused.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::scan_source;
+use crate::rules::{match_line, missing_root_attrs, Rule};
+
+/// A rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Path relative to the scan root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line (trimmed), or a structural message.
+    pub excerpt: String,
+}
+
+/// A parsed allow marker, used or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exception {
+    /// Path relative to the scan root.
+    pub file: PathBuf,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+    /// Rules the marker waives.
+    pub rules: Vec<Rule>,
+    /// The stated justification.
+    pub reason: String,
+    /// Whether the marker covers the whole file.
+    pub file_scope: bool,
+    /// Whether the marker suppressed at least one would-be finding.
+    pub used: bool,
+}
+
+/// Result of scanning a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All violations, in path order.
+    pub findings: Vec<Finding>,
+    /// All allow markers encountered, in path order.
+    pub exceptions: Vec<Exception>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the scan found no violations.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Which rules apply to one file.
+#[derive(Debug, Clone)]
+pub struct FilePolicy {
+    /// Rules matched line-by-line (D1–D5 subset).
+    pub line_rules: Vec<Rule>,
+    /// Whether this file is a crate root subject to D6.
+    pub crate_root: bool,
+    /// Whether the whole file is test/bench/example code (D5 waived).
+    pub test_file: bool,
+}
+
+const MARKER_PREFIX: &str = "cmh-lint:";
+
+/// A marker parsed out of one comment.
+struct ParsedMarker {
+    line: usize,
+    rules: Vec<Rule>,
+    reason: String,
+    file_scope: bool,
+}
+
+/// Extracts `cmh-lint:` markers from comment texts; malformed markers
+/// become findings.
+fn parse_markers(
+    comments: &[(usize, String)],
+    file: &Path,
+    findings: &mut Vec<Finding>,
+) -> Vec<ParsedMarker> {
+    let mut markers = Vec::new();
+    for (line, text) in comments {
+        let Some(at) = text.find(MARKER_PREFIX) else {
+            continue;
+        };
+        let directive = text[at + MARKER_PREFIX.len()..].trim_start();
+        let bad = |findings: &mut Vec<Finding>, why: &str| {
+            findings.push(Finding {
+                rule: Rule::BadMarker,
+                file: file.to_path_buf(),
+                line: *line,
+                excerpt: format!("{why}: `{}`", text.trim()),
+            });
+        };
+        // Only `allow` / `allow-file` directives are markers; other text
+        // mentioning the prefix (e.g. grammar documentation) is ignored.
+        let (file_scope, rest) = if let Some(r) = directive.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = directive.strip_prefix("allow") {
+            (false, r)
+        } else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            bad(findings, "missing rule list");
+            continue;
+        };
+        if !rest.starts_with('(') {
+            bad(findings, "missing rule list");
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut ok = true;
+        for part in rest[1..close].split(',') {
+            match Rule::parse(part) {
+                Some(rule) => rules.push(rule),
+                None => {
+                    bad(findings, &format!("unknown rule id `{}`", part.trim()));
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-'])
+            .trim()
+            .to_owned();
+        if reason.is_empty() {
+            bad(findings, "missing reason (every exception must say why)");
+            continue;
+        }
+        if rules.is_empty() {
+            bad(findings, "empty rule list");
+            continue;
+        }
+        markers.push(ParsedMarker {
+            line: *line,
+            rules,
+            reason,
+            file_scope,
+        });
+    }
+    markers
+}
+
+/// Scans one file's source under `policy`, appending to `report`.
+/// `file` is the path recorded in findings (relative to the scan root).
+pub fn scan_file(file: &Path, source: &str, policy: &FilePolicy, report: &mut LintReport) {
+    let scan = scan_source(source);
+    report.files_scanned += 1;
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let markers = parse_markers(&scan.comments, file, &mut findings);
+
+    // Resolve marker scopes: file-scope rules, and line → rules.
+    let mut file_allows: Vec<(usize, Rule)> = Vec::new(); // (marker idx, rule)
+    let mut line_allows: BTreeMap<usize, Vec<(usize, Rule)>> = BTreeMap::new();
+    for (idx, m) in markers.iter().enumerate() {
+        if m.file_scope {
+            for &r in &m.rules {
+                file_allows.push((idx, r));
+            }
+            continue;
+        }
+        // Trailing marker covers its own line; a standalone comment line
+        // covers the next line that has code on it.
+        let own_line_code = scan
+            .code_lines
+            .get(m.line - 1)
+            .map(|l| !l.trim().is_empty())
+            .unwrap_or(false);
+        let target = if own_line_code {
+            Some(m.line)
+        } else {
+            (m.line..scan.code_lines.len())
+                .map(|i| i + 1)
+                .find(|&ln| !scan.code_lines[ln - 1].trim().is_empty())
+        };
+        if let Some(ln) = target {
+            for &r in &m.rules {
+                line_allows.entry(ln).or_default().push((idx, r));
+            }
+        }
+    }
+    let mut used = vec![false; markers.len()];
+
+    // Line rules.
+    for (i, line) in scan.code_lines.iter().enumerate() {
+        let ln = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for rule in match_line(line, &policy.line_rules) {
+            if rule == Rule::D5
+                && (policy.test_file || scan.test_lines.get(i).copied() == Some(true))
+            {
+                continue;
+            }
+            // debug_assert!/assert! messages live in strings (blanked), so
+            // no extra assertion carve-out is needed.
+            if let Some(&(idx, _)) = file_allows.iter().find(|(_, r)| *r == rule) {
+                used[idx] = true;
+                continue;
+            }
+            if let Some(allows) = line_allows.get(&ln) {
+                if let Some(&(idx, _)) = allows.iter().find(|(_, r)| *r == rule) {
+                    used[idx] = true;
+                    continue;
+                }
+            }
+            findings.push(Finding {
+                rule,
+                file: file.to_path_buf(),
+                line: ln,
+                excerpt: source.lines().nth(i).unwrap_or_default().trim().to_owned(),
+            });
+        }
+    }
+
+    // D6: crate-root header block.
+    if policy.crate_root {
+        for attr in missing_root_attrs(&scan.code_lines) {
+            if let Some(&(idx, _)) = file_allows.iter().find(|(_, r)| *r == Rule::D6) {
+                used[idx] = true;
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::D6,
+                file: file.to_path_buf(),
+                line: 1,
+                excerpt: format!("crate root missing `{attr}`"),
+            });
+        }
+    }
+
+    for (idx, m) in markers.into_iter().enumerate() {
+        report.exceptions.push(Exception {
+            file: file.to_path_buf(),
+            line: m.line,
+            rules: m.rules,
+            reason: m.reason,
+            file_scope: m.file_scope,
+            used: used[idx],
+        });
+    }
+    report.findings.append(&mut findings);
+}
+
+/// One discovered workspace crate.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from its manifest.
+    pub name: String,
+    /// Crate directory, relative to the workspace root.
+    pub dir: PathBuf,
+}
+
+/// Parses the root manifest's `members` list (literal paths and one-level
+/// `*` globs), skipping `vendor/*`, and adds the root package itself.
+pub fn discover_workspace(root: &Path) -> std::io::Result<Vec<CrateInfo>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut crates = Vec::new();
+    let mut in_members = false;
+    let mut member_paths: Vec<String> = Vec::new();
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with("members") && t.contains('[') {
+            in_members = true;
+        }
+        if in_members {
+            for piece in t.split('"').skip(1).step_by(2) {
+                member_paths.push(piece.to_owned());
+            }
+            if t.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    for pattern in member_paths {
+        if pattern.starts_with("vendor") {
+            continue;
+        }
+        if let Some(prefix) = pattern.strip_suffix("/*") {
+            let base = root.join(prefix);
+            let mut entries: Vec<_> = fs::read_dir(&base)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            entries.sort();
+            for dir in entries {
+                if let Some(name) = package_name(&dir.join("Cargo.toml")) {
+                    crates.push(CrateInfo {
+                        name,
+                        dir: dir.strip_prefix(root).unwrap_or(&dir).to_path_buf(),
+                    });
+                }
+            }
+        } else if root.join(&pattern).join("Cargo.toml").is_file() {
+            if let Some(name) = package_name(&root.join(&pattern).join("Cargo.toml")) {
+                crates.push(CrateInfo {
+                    name,
+                    dir: PathBuf::from(pattern),
+                });
+            }
+        }
+    }
+    // The root package (the umbrella crate with its tests/ and examples/).
+    if let Some(name) = package_name(&root.join("Cargo.toml")) {
+        crates.push(CrateInfo {
+            name,
+            dir: PathBuf::new(),
+        });
+    }
+    Ok(crates)
+}
+
+/// Reads `name = "…"` from a `[package]` section.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if in_package && t.starts_with("name") {
+            return t.split('"').nth(1).map(str::to_owned);
+        }
+    }
+    None
+}
+
+/// Collects `.rs` files under `dir` recursively, in sorted order.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    let mut paths: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            out.extend(rust_files(&p));
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    out
+}

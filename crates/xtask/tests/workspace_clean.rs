@@ -1,0 +1,63 @@
+//! The workspace itself must pass cmh-lint, and its escape hatches must
+//! be exactly the audited set below — an unannotated wall-clock read or
+//! a stray `HashMap` anywhere in the deterministic crates fails here,
+//! and so does a *new* allow marker nobody reviewed.
+
+use std::collections::BTreeSet;
+
+use xtask::{find_workspace_root, lint_workspace};
+
+#[test]
+fn workspace_is_lint_clean_with_exactly_the_audited_exceptions() {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = lint_workspace(&root).expect("workspace scan");
+
+    assert!(
+        report.findings.is_empty(),
+        "cmh-lint findings in the workspace:\n{}",
+        xtask::report::human(&report)
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+
+    for e in &report.exceptions {
+        assert!(
+            e.used,
+            "unused allow marker at {}:{} — remove it",
+            e.file.display(),
+            e.line
+        );
+    }
+
+    let got: BTreeSet<(String, String, bool)> = report
+        .exceptions
+        .iter()
+        .map(|e| {
+            let rules: Vec<&str> = e.rules.iter().map(|r| r.id()).collect();
+            (e.file.display().to_string(), rules.join(","), e.file_scope)
+        })
+        .collect();
+    let expected: BTreeSet<(String, String, bool)> = [
+        // Bench timing: experiment records carry real elapsed wall time.
+        ("crates/bench/src/lib.rs", "D2", false),
+        ("crates/bench/src/record.rs", "D2", true),
+        ("crates/bench/src/bin/exp_cycle_latency.rs", "D2", true),
+        ("crates/bench/src/bin/exp_faults.rs", "D2", true),
+        ("crates/bench/src/bin/exp_probe_bounds.rs", "D2", true),
+        ("crates/bench/src/bin/exp_soundness.rs", "D2", true),
+        // The explicitly annotated real-time block: the live runtime is
+        // wall-clock multi-threaded by design (never used by experiments).
+        ("crates/simnet/src/runtime.rs", "D2,D4", true),
+        // Sanctioned cross-run parallelism pool driven by cmh_bench::sweep.
+        ("crates/simnet/src/batch.rs", "D4", true),
+        // Pins that parallel sweeps are bit-identical to serial ones.
+        ("tests/parallel_sweep.rs", "D4", false),
+    ]
+    .into_iter()
+    .map(|(f, r, s)| (f.to_owned(), r.to_owned(), s))
+    .collect();
+    assert_eq!(
+        got, expected,
+        "the audited exception set changed — update this test only after review"
+    );
+}

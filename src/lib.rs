@@ -11,6 +11,7 @@
 //! * [`workloads`] — seeded workload generators.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use baselines;
 pub use cmh_core;

@@ -62,6 +62,7 @@ fn explicit_thread_fanout_matches_serial_per_seed() {
     // Four real worker threads over interleaved seed strides, regardless
     // of how many cores the host reports.
     let mut fanned = vec![0u64; SEEDS as usize];
+    // cmh-lint: allow(D4) — pins that parallel sweeps are bit-identical to serial
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for stride in 0..4u64 {
