@@ -157,7 +157,9 @@ impl Coordinator {
         for &v in members {
             if self.currently_reported.insert(v) {
                 ctx.count(counters::DECLARED);
-                ctx.note(format!("central: {v} reported deadlocked"));
+                if ctx.tracing() {
+                    ctx.note(format!("central: {v} reported deadlocked"));
+                }
                 self.reports.push(BaselineReport {
                     detector: ctx.id(),
                     subject: v,

@@ -142,7 +142,9 @@ impl Process<PathMsg> for PathProcess {
                     if self.last_declared_epoch != Some(self.core.epoch()) {
                         self.last_declared_epoch = Some(self.core.epoch());
                         ctx.count(counters::DECLARED);
-                        ctx.note(format!("pathpush: {me} declares deadlock via {path:?}"));
+                        if ctx.tracing() {
+                            ctx.note(format!("pathpush: {me} declares deadlock via {path:?}"));
+                        }
                         self.declarations.push(ctx.now());
                     }
                 } else if self.core.is_blocked() {

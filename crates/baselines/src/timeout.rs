@@ -81,7 +81,9 @@ impl Process<TimeoutMsg> for TimeoutProcess {
         let epoch = tag & 0xFFFF_FFFF;
         if self.core.is_blocked() && (self.core.epoch() & 0xFFFF_FFFF) == epoch {
             ctx.count(counters::DECLARED);
-            ctx.note(format!("timeout: {} presumes deadlock", ctx.id()));
+            if ctx.tracing() {
+                ctx.note(format!("timeout: {} presumes deadlock", ctx.id()));
+            }
             self.declarations.push(ctx.now());
         }
     }

@@ -1,0 +1,105 @@
+//! Message-path micro-benchmarks: the cost of one send→wire→deliver hop
+//! under each wire configuration. This is the path the zero-allocation
+//! rework targets, so these benches are the canary for envelope clones,
+//! ungated summaries, or per-delivery buffer churn creeping back in.
+//!
+//! Three configurations, deliberately mirroring
+//! `crates/simnet/tests/alloc_regression.rs`:
+//!
+//! * `clean` — no faults, no reliable layer: the pure scheduler +
+//!   dispatch floor;
+//! * `faulty` — loss + duplication: adds fault classification (RNG
+//!   draws) and the duplicate-clone branch;
+//! * `reliable` — the reliable transport over a faulty wire: adds
+//!   sequencing, retransmit buffering, acks, and in-order release.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use simnet::faults::FaultPlan;
+use simnet::reliable::ReliableConfig;
+use simnet::sim::{Context, NodeId, Process, SimBuilder};
+
+/// Fixed-size payload shaped like a real probe tuple: no heap of its
+/// own, so every allocation a config shows is the harness's, not the
+/// message's.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    hop: u64,
+}
+
+/// Relay ring from the allocation-regression test: node 0 launches
+/// `seeds` chains, every delivery forwards until the hop limit. Lossy
+/// wires kill a chain per drop, so `seeds` sizes the workload.
+struct Relay {
+    next: NodeId,
+    seeds: u64,
+    limit: u64,
+}
+
+impl Process<Probe> for Relay {
+    fn on_start(&mut self, ctx: &mut Context<'_, Probe>) {
+        if ctx.id() == NodeId(0) {
+            for _ in 0..self.seeds {
+                ctx.send(self.next, Probe { hop: 0 });
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Probe>, _from: NodeId, msg: Probe) {
+        if msg.hop < self.limit {
+            ctx.send(self.next, Probe { hop: msg.hop + 1 });
+        }
+    }
+}
+
+fn run(builder: SimBuilder, seeds: u64, hops: u64) -> u64 {
+    let mut sim = builder.build();
+    for i in 0..8usize {
+        sim.add_node(Relay {
+            next: NodeId((i + 1) % 8),
+            seeds,
+            limit: hops,
+        });
+    }
+    sim.run_to_quiescence(u64::MAX).events
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/delivery");
+    for hops in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(hops));
+        group.bench_with_input(BenchmarkId::new("clean", hops), &hops, |b, &hops| {
+            b.iter(|| black_box(run(SimBuilder::new().seed(7), 1, hops)));
+        });
+        group.bench_with_input(BenchmarkId::new("faulty", hops), &hops, |b, &hops| {
+            // Loss above the duplication rate keeps the branching
+            // process subcritical; 100 chains keep total deliveries in
+            // the same ballpark as the clean config's single chain.
+            b.iter(|| {
+                black_box(run(
+                    SimBuilder::new()
+                        .seed(11)
+                        .faults(FaultPlan::new().loss(0.05).duplicate(0.02)),
+                    100,
+                    hops / 20,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reliable", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                black_box(run(
+                    SimBuilder::new()
+                        .seed(13)
+                        .faults(FaultPlan::new().loss(0.05).duplicate(0.02).reorder(0.1, 30))
+                        .reliable(ReliableConfig::default()),
+                    2,
+                    hops / 2,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;
-use cmh_bench::{formation_time, time_ms, Table};
+use cmh_bench::{formation_time, time_ms, time_ms2, Table};
 use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
 use simnet::latency::LatencyModel;
@@ -27,15 +27,18 @@ fn run(n: usize, latency: LatencyModel, seed: u64, rec: &mut BenchRecord) -> (u6
     let builder = SimBuilder::new().seed(seed).latency(latency);
     let mut net = BasicNet::with_builder(n, BasicConfig::on_block(4), builder);
     net.request_edges(&generators::cycle(n)).unwrap();
-    net.run_to_quiescence(100_000_000);
-    time_ms(&mut rec.oracle_ms, || net.verify_soundness().expect("QRP2"));
+    time_ms(&mut rec.sim_ms, || net.run_to_quiescence(100_000_000));
+    time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
+        net.verify_soundness().expect("QRP2")
+    });
     let journal = net.journal_snapshot();
-    let first = net
-        .declarations()
-        .into_iter()
-        .min_by_key(|d| d.at)
-        .expect("cycle must be detected");
-    let formed = time_ms(&mut rec.oracle_ms, || {
+    let first = time_ms(&mut rec.detector_ms, || {
+        net.declarations()
+            .into_iter()
+            .min_by_key(|d| d.at)
+            .expect("cycle must be detected")
+    });
+    let formed = time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
         formation_time(&journal, first.detector, first.at)
     });
     rec.add_run(

@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;
 use cmh_bench::sweep::seed_sweep;
-use cmh_bench::Table;
+use cmh_bench::{time_ms, time_ms2, Table};
 use cmh_core::engine::ValidationError;
 use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
@@ -83,11 +83,16 @@ impl Score {
     }
 }
 
-/// One run's contribution to the throughput record.
+/// One run's contribution to the throughput record. Phase times are
+/// accumulated per run so the totals stay exact under parallel sweeps.
 struct RunStats {
     events: u64,
     probes: u64,
     peak_depth: usize,
+    sim_ms: f64,
+    detector_ms: f64,
+    verify_ms: f64,
+    oracle_ms: f64,
 }
 
 fn stats_of(net: &BasicNet) -> RunStats {
@@ -95,7 +100,20 @@ fn stats_of(net: &BasicNet) -> RunStats {
         events: net.metrics().get(builtin::EVENTS),
         probes: net.metrics().get(basic_counters::PROBE_SENT),
         peak_depth: net.peak_queue_depth(),
+        sim_ms: 0.0,
+        detector_ms: 0.0,
+        verify_ms: 0.0,
+        oracle_ms: 0.0,
     }
+}
+
+/// Folds one run's counters and phase times into the record.
+fn fold(rec: &mut BenchRecord, stats: &RunStats) {
+    rec.add_run(stats.events, stats.probes, stats.peak_depth);
+    rec.sim_ms += stats.sim_ms;
+    rec.detector_ms += stats.detector_ms;
+    rec.verify_ms += stats.verify_ms;
+    rec.oracle_ms += stats.oracle_ms;
 }
 
 fn score(net: &BasicNet, s: &mut Score) {
@@ -122,17 +140,23 @@ fn ring_run(seed: u64, loss: f64, reliable: bool) -> (Score, RunStats) {
     let mut net =
         BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, reliable));
     net.request_edges(&generators::cycle(6)).unwrap();
-    net.run_to_quiescence(MAX_EVENTS);
+    let mut sim_ms = 0.0;
+    time_ms(&mut sim_ms, || net.run_to_quiescence(MAX_EVENTS));
     let mut s = Score::default();
-    score(&net, &mut s);
-    (s, stats_of(&net))
+    let (mut verify_ms, mut oracle_ms) = (0.0, 0.0);
+    time_ms2(&mut verify_ms, &mut oracle_ms, || score(&net, &mut s));
+    let mut stats = stats_of(&net);
+    stats.sim_ms = sim_ms;
+    stats.verify_ms = verify_ms;
+    stats.oracle_ms = oracle_ms;
+    (s, stats)
 }
 
 fn ring_runs(seeds: u64, loss: f64, reliable: bool, rec: &mut BenchRecord) -> Score {
     let mut total = Score::default();
     for (s, stats) in seed_sweep(seeds, |seed| ring_run(seed, loss, reliable)) {
         total.merge(&s);
-        rec.add_run(stats.events, stats.probes, stats.peak_depth);
+        fold(rec, &stats);
     }
     total
 }
@@ -166,27 +190,35 @@ fn chaos_run(seed: u64, reliable: bool) -> (Score, RunStats) {
         BasicConfig::on_block(15),
         builder(seed, chaos_plan(), reliable),
     );
-    drive_schedule(
-        &mut net,
-        &sched,
-        |x, at| {
-            x.run_until(at);
-        },
-        // A crashed node can neither issue nor accept work; skipping
-        // such injections keeps the driver honest in both modes.
-        |x, f, t| !x.is_crashed(f) && !x.is_crashed(t) && x.request(f, t).is_ok(),
-    );
-    net.run_to_quiescence(MAX_EVENTS);
+    let mut sim_ms = 0.0;
+    time_ms(&mut sim_ms, || {
+        drive_schedule(
+            &mut net,
+            &sched,
+            |x, at| {
+                x.run_until(at);
+            },
+            // A crashed node can neither issue nor accept work; skipping
+            // such injections keeps the driver honest in both modes.
+            |x, f, t| !x.is_crashed(f) && !x.is_crashed(t) && x.request(f, t).is_ok(),
+        );
+        net.run_to_quiescence(MAX_EVENTS);
+    });
     let mut s = Score::default();
-    score(&net, &mut s);
-    (s, stats_of(&net))
+    let (mut verify_ms, mut oracle_ms) = (0.0, 0.0);
+    time_ms2(&mut verify_ms, &mut oracle_ms, || score(&net, &mut s));
+    let mut stats = stats_of(&net);
+    stats.sim_ms = sim_ms;
+    stats.verify_ms = verify_ms;
+    stats.oracle_ms = oracle_ms;
+    (s, stats)
 }
 
 fn chaos_runs(seeds: u64, reliable: bool, rec: &mut BenchRecord) -> Score {
     let mut total = Score::default();
     for (s, stats) in seed_sweep(seeds, |seed| chaos_run(seed, reliable)) {
         total.merge(&s);
-        rec.add_run(stats.events, stats.probes, stats.peak_depth);
+        fold(rec, &stats);
     }
     total
 }
@@ -217,7 +249,8 @@ fn overhead_run(seed: u64, loss: f64) -> (Overhead, RunStats) {
     let plan = FaultPlan::new().loss(loss);
     let mut net = BasicNet::with_builder(6, BasicConfig::on_block(10), builder(seed, plan, true));
     net.request_edges(&generators::cycle(6)).unwrap();
-    net.run_to_quiescence(MAX_EVENTS);
+    let mut sim_ms = 0.0;
+    time_ms(&mut sim_ms, || net.run_to_quiescence(MAX_EVENTS));
     let m = net.metrics();
     let mut o = Overhead {
         app_msgs: m.get(builtin::MESSAGES_SENT),
@@ -228,11 +261,17 @@ fn overhead_run(seed: u64, loss: f64) -> (Overhead, RunStats) {
         latency_sum: 0,
         latency_n: 0,
     };
-    if let Some(d) = net.declarations().first() {
-        o.latency_sum = d.at.ticks();
-        o.latency_n = 1;
-    }
-    (o, stats_of(&net))
+    let mut detector_ms = 0.0;
+    time_ms(&mut detector_ms, || {
+        if let Some(d) = net.declarations().first() {
+            o.latency_sum = d.at.ticks();
+            o.latency_n = 1;
+        }
+    });
+    let mut stats = stats_of(&net);
+    stats.sim_ms = sim_ms;
+    stats.detector_ms = detector_ms;
+    (o, stats)
 }
 
 fn overhead_runs(seeds: u64, loss: f64, rec: &mut BenchRecord) -> Overhead {
@@ -245,7 +284,7 @@ fn overhead_runs(seeds: u64, loss: f64, rec: &mut BenchRecord) -> Overhead {
         total.duplicated += o.duplicated;
         total.latency_sum += o.latency_sum;
         total.latency_n += o.latency_n;
-        rec.add_run(stats.events, stats.probes, stats.peak_depth);
+        fold(rec, &stats);
     }
     total
 }

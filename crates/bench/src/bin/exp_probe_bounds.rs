@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use cmh_bench::record::BenchRecord;
 use cmh_bench::sweep::sweep_map;
-use cmh_bench::{time_ms, Table};
+use cmh_bench::{time_ms, time_ms2, Table};
 use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet, ProbeTag};
 use simnet::metrics::builtin;
@@ -41,8 +41,14 @@ struct RunResult {
     events: u64,
     probes: u64,
     peak_depth: usize,
-    /// Time spent in ground-truth oracle queries, accumulated per run so
-    /// the total stays exact under parallel sweeps.
+    /// Per-phase wall clock, accumulated per run so the totals stay exact
+    /// under parallel sweeps.
+    sim_ms: f64,
+    detector_ms: f64,
+    verify_ms: f64,
+    /// Time spent in ground-truth oracle queries (a subset of verify_ms
+    /// here), accumulated per run so the total stays exact under parallel
+    /// sweeps.
     oracle_ms: f64,
 }
 
@@ -52,10 +58,15 @@ fn run(topology: &Topology, label: &str) -> RunResult {
     let mut net = BasicNet::new(n, BasicConfig::on_block(4), 42);
     net.request_edges(&edges)
         .expect("generator produces legal requests");
-    net.run_to_quiescence(50_000_000);
+    let mut sim_ms = 0.0;
+    let mut detector_ms = 0.0;
+    let mut verify_ms = 0.0;
     let mut oracle_ms = 0.0;
-    time_ms(&mut oracle_ms, || net.verify_soundness().expect("QRP2"));
-    let per_tag = probes_per_computation(&net);
+    time_ms(&mut sim_ms, || net.run_to_quiescence(50_000_000));
+    time_ms2(&mut verify_ms, &mut oracle_ms, || {
+        net.verify_soundness().expect("QRP2")
+    });
+    let per_tag = time_ms(&mut detector_ms, || probes_per_computation(&net));
     let max_probes = per_tag.values().copied().max().unwrap_or(0);
     let computations = per_tag.len();
     let total: u64 = per_tag.values().sum();
@@ -82,6 +93,9 @@ fn run(topology: &Topology, label: &str) -> RunResult {
         events: net.metrics().get(builtin::EVENTS),
         probes: net.metrics().get(basic_counters::PROBE_SENT),
         peak_depth: net.peak_queue_depth(),
+        sim_ms,
+        detector_ms,
+        verify_ms,
         oracle_ms,
     }
 }
@@ -130,6 +144,9 @@ fn main() {
     for r in sweep_map(cases, |(topology, label)| run(&topology, &label)) {
         t.row(r.row);
         rec.add_run(r.events, r.probes, r.peak_depth);
+        rec.sim_ms += r.sim_ms;
+        rec.detector_ms += r.detector_ms;
+        rec.verify_ms += r.verify_ms;
         rec.oracle_ms += r.oracle_ms;
     }
     t.print();

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use baselines::{CentralNet, SnapshotMode, TimeoutNet};
 use cmh_bench::record::BenchRecord;
-use cmh_bench::{time_ms, Table};
+use cmh_bench::{time_ms, time_ms2, Table};
 use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
 use simnet::latency::LatencyModel;
@@ -77,21 +77,27 @@ fn main() {
         let sched = schedule_for(seed);
         let mut net =
             BasicNet::with_builder(sched.n, BasicConfig::on_block(SERVICE_DELAY), builder(seed));
-        drive_schedule(
-            &mut net,
-            &sched,
-            |n, at| {
-                n.run_until(at);
-            },
-            |n, from, to| n.request(from, to).is_ok(),
-        );
-        net.run_to_quiescence(100_000_000);
+        time_ms(&mut rec.sim_ms, || {
+            drive_schedule(
+                &mut net,
+                &sched,
+                |n, at| {
+                    n.run_until(at);
+                },
+                |n, from, to| n.request(from, to).is_ok(),
+            );
+            net.run_to_quiescence(100_000_000);
+        });
         // QRP2: every declaration checked against ground truth (panics on
         // violation — soundness is an invariant here, not a statistic).
-        cmh_reports += time_ms(&mut rec.oracle_ms, || {
+        cmh_reports += time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
             net.verify_soundness().expect("QRP2 violated")
         });
-        if time_ms(&mut rec.oracle_ms, || net.verify_completeness()).is_err() {
+        if time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
+            net.verify_completeness()
+        })
+        .is_err()
+        {
             cmh_missed += 1;
         }
         rec.add_run(
@@ -116,16 +122,20 @@ fn main() {
         for seed in 0..RUNS {
             let sched = schedule_for(seed);
             let mut net = TimeoutNet::with_builder(sched.n, timeout, SERVICE_DELAY, builder(seed));
-            drive_schedule(
-                &mut net,
-                &sched,
-                |n, at| {
-                    n.run_until(at);
-                },
-                |n, from, to| n.request(from, to).is_ok(),
-            );
-            net.run_to_quiescence(100_000_000);
-            let c = time_ms(&mut rec.oracle_ms, || net.classify_reports());
+            time_ms(&mut rec.sim_ms, || {
+                drive_schedule(
+                    &mut net,
+                    &sched,
+                    |n, at| {
+                        n.run_until(at);
+                    },
+                    |n, from, to| n.request(from, to).is_ok(),
+                );
+                net.run_to_quiescence(100_000_000);
+            });
+            let c = time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
+                net.classify_reports()
+            });
             genuine += c.genuine;
             phantom += c.phantom;
         }
@@ -157,18 +167,22 @@ fn main() {
         for seed in 0..RUNS {
             let sched = schedule_for(seed);
             let mut net = CentralNet::with_builder(sched.n, mode, 80, SERVICE_DELAY, builder(seed));
-            drive_schedule(
-                &mut net,
-                &sched,
-                |n, at| {
-                    n.run_until(at);
-                },
-                |n, from, to| n.request(from, to).is_ok(),
-            );
-            // Give the poller time to settle after the last event.
-            let end = net.now() + 5_000;
-            net.run_until(SimTime::from_ticks(end.ticks()));
-            let c = time_ms(&mut rec.oracle_ms, || net.classify_reports());
+            time_ms(&mut rec.sim_ms, || {
+                drive_schedule(
+                    &mut net,
+                    &sched,
+                    |n, at| {
+                        n.run_until(at);
+                    },
+                    |n, from, to| n.request(from, to).is_ok(),
+                );
+                // Give the poller time to settle after the last event.
+                let end = net.now() + 5_000;
+                net.run_until(SimTime::from_ticks(end.ticks()));
+            });
+            let c = time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
+                net.classify_reports()
+            });
             genuine += c.genuine;
             phantom += c.phantom;
         }

@@ -137,12 +137,26 @@ pub fn formation_time(journal: &Journal, v: NodeId, declared_at: SimTime) -> Sim
 }
 
 /// Runs `f`, adding its wall-clock duration in milliseconds to `acc`.
-/// Used by the `exp_*` binaries to attribute time to oracle calls
-/// (`BenchRecord::oracle_ms`).
+/// Used by the `exp_*` binaries to attribute time to one phase
+/// (`BenchRecord::{sim_ms, detector_ms, verify_ms, oracle_ms}`).
 pub fn time_ms<R>(acc: &mut f64, f: impl FnOnce() -> R) -> R {
     let started = std::time::Instant::now(); // cmh-lint: allow(D2) — bench timing: measures the host, not the simulation
     let out = f();
     *acc += started.elapsed().as_secs_f64() * 1_000.0;
+    out
+}
+
+/// Runs `f`, adding one measured wall-clock duration to *two*
+/// accumulators. Used where a section belongs to two overlapping columns
+/// at once — e.g. a `verify_soundness` call is both verification
+/// (`verify_ms`) and ground-truth oracle work (`oracle_ms`) — without
+/// timing it twice or fighting the borrow checker over nested closures.
+pub fn time_ms2<R>(a: &mut f64, b: &mut f64, f: impl FnOnce() -> R) -> R {
+    let started = std::time::Instant::now(); // cmh-lint: allow(D2) — bench timing: measures the host, not the simulation
+    let out = f();
+    let elapsed = started.elapsed().as_secs_f64() * 1_000.0;
+    *a += elapsed;
+    *b += elapsed;
     out
 }
 

@@ -29,6 +29,21 @@ pub struct BenchRecord {
     /// replays, dark-cycle checks, `formation_time`), in milliseconds.
     /// Accumulated via [`crate::time_ms`]; 0 where not instrumented.
     pub oracle_ms: f64,
+    /// Wall-clock time spent stepping the simulator (driving schedules,
+    /// `run_to_quiescence` / `run_until`), in milliseconds. 0 where not
+    /// instrumented.
+    pub sim_ms: f64,
+    /// Wall-clock time spent harvesting detector-side results after a run
+    /// (declaration scans, per-tag probe ledgers), in milliseconds.
+    /// 0 where not instrumented.
+    pub detector_ms: f64,
+    /// Wall-clock time spent in verification (`verify_soundness`,
+    /// `verify_completeness`, report classification, `formation_time`),
+    /// in milliseconds. Oracle queries made *by* verification also count
+    /// toward `oracle_ms` (see [`crate::time_ms2`]), so the two columns
+    /// overlap by design: `verify_ms` answers "what does checking cost",
+    /// `oracle_ms` answers "what does ground truth cost".
+    pub verify_ms: f64,
     /// Total simulator events executed across all runs.
     pub events: u64,
     /// Total probes sent across all runs (0 where not applicable).
@@ -75,6 +90,9 @@ impl BenchRecord {
         s.push_str("{\n");
         let _ = writeln!(s, "  \"experiment\": \"{}\",", self.experiment);
         let _ = writeln!(s, "  \"wall_ms\": {:.3},", self.wall_ms);
+        let _ = writeln!(s, "  \"sim_ms\": {:.3},", self.sim_ms);
+        let _ = writeln!(s, "  \"detector_ms\": {:.3},", self.detector_ms);
+        let _ = writeln!(s, "  \"verify_ms\": {:.3},", self.verify_ms);
         let _ = writeln!(s, "  \"oracle_ms\": {:.3},", self.oracle_ms);
         let _ = writeln!(s, "  \"runs\": {},", self.runs);
         let _ = writeln!(s, "  \"events\": {},", self.events);
@@ -144,10 +162,15 @@ mod tests {
         r.add_run(10, 1, 3);
         r.wall_ms = 1.5;
         r.oracle_ms = 0.25;
+        r.sim_ms = 1.125;
+        r.verify_ms = 0.5;
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"experiment\": \"exp_test\""));
         assert!(j.contains("\"oracle_ms\": 0.250"));
+        assert!(j.contains("\"sim_ms\": 1.125"));
+        assert!(j.contains("\"detector_ms\": 0.000"));
+        assert!(j.contains("\"verify_ms\": 0.500"));
         assert!(j.contains("\"peak_queue_depth\": 3"));
         // No trailing comma before the closing brace.
         assert!(!j.contains(",\n}"));

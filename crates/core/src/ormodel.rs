@@ -361,7 +361,9 @@ impl OrProcess {
                 };
                 self.declarations.push(report);
                 ctx.count(counters::DECLARED);
-                ctx.note(format!("DECLARE OR-deadlock: {me}, computation {tag}"));
+                if ctx.tracing() {
+                    ctx.note(format!("DECLARE OR-deadlock: {me}, computation {tag}"));
+                }
             }
         } else {
             let engager = e.engager;

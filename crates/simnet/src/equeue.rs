@@ -177,6 +177,11 @@ impl<T> EventQueue<T> {
                     key,
                     value: Some(value),
                 });
+                // Keep the free list's capacity at the slab size so that
+                // recycling a slot (detach → free.push) never reallocates
+                // on the hot pop path; the cost lands here, at slab-growth
+                // time, which steady state has already amortised.
+                self.free.reserve(self.slots.len() - self.free.len());
                 self.slots.len() - 1
             }
         };

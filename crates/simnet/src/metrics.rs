@@ -65,8 +65,18 @@ impl Metrics {
     }
 
     /// Adds `n` to the counter named `kind`, creating it at zero if absent.
+    ///
+    /// The key `String` is only allocated the first time a kind is seen;
+    /// steady-state increments are a borrowed lookup. This sits on the
+    /// simulator's per-event hot path, so `entry(kind.to_owned())` — one
+    /// allocation per call — is deliberately avoided.
     pub fn add(&mut self, kind: &str, n: u64) {
-        *self.counters.entry(kind.to_owned()).or_insert(0) += n;
+        match self.counters.get_mut(kind) {
+            Some(v) => *v += n,
+            None => {
+                self.counters.insert(kind.to_owned(), n);
+            }
+        }
     }
 
     /// Increments the counter named `kind` by one.
@@ -89,7 +99,10 @@ impl Metrics {
     /// Useful for aggregating per-node counters such as `probe.sent.*`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
         self.counters
-            .range(prefix.to_owned()..)
+            .range::<str, _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, &v)| v)
             .sum()

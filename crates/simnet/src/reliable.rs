@@ -85,7 +85,13 @@ pub(crate) struct SendChannel<M> {
     pub(crate) next_seq: u64,
     /// Unacknowledged payloads by sequence number. An entry is removed by a
     /// cumulative ack covering it, or by abandonment.
-    pub(crate) buf: BTreeMap<u64, M>,
+    ///
+    /// The slot is `take`n to `None` the moment the payload is first
+    /// delivered to the application — the receiver dedups by sequence
+    /// number, so no later arrival can need it again. That lets delivery
+    /// *move* the one buffered copy instead of cloning it, while the entry
+    /// itself keeps arming retransmissions (`contains_key`) until acked.
+    pub(crate) buf: BTreeMap<u64, Option<M>>,
 }
 
 // Manual impl: the derive would demand `M: Default`, which payloads
@@ -109,19 +115,23 @@ pub(crate) struct RecvChannel {
 }
 
 /// Outcome of one wire-packet arrival at the receiver.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum WireAccept {
     /// Already seen; suppress (but still ack).
     Duplicate,
     /// Ahead of the expected sequence; buffered for later.
     Buffered,
-    /// In-order: these sequence numbers are now deliverable, in this order.
-    Deliver(Vec<u64>),
+    /// In-order: the sequence numbers appended to the caller's `ready`
+    /// scratch are now deliverable, in that order.
+    Deliver,
 }
 
 impl RecvChannel {
-    /// Accepts wire packet `seq`, returning what to do with it.
-    pub(crate) fn accept(&mut self, seq: u64) -> WireAccept {
+    /// Accepts wire packet `seq`. On [`WireAccept::Deliver`] the now
+    /// in-order sequence numbers are appended to `ready` — a recycled
+    /// scratch buffer owned by the caller, so the resequencing flush
+    /// allocates nothing in steady state.
+    pub(crate) fn accept(&mut self, seq: u64, ready: &mut Vec<u64>) -> WireAccept {
         if seq < self.expected || self.arrived.contains(&seq) {
             return WireAccept::Duplicate;
         }
@@ -129,13 +139,13 @@ impl RecvChannel {
             self.arrived.insert(seq);
             return WireAccept::Buffered;
         }
-        let mut ready = vec![seq];
+        ready.push(seq);
         self.expected += 1;
         while self.arrived.remove(&self.expected) {
             ready.push(self.expected);
             self.expected += 1;
         }
-        WireAccept::Deliver(ready)
+        WireAccept::Deliver
     }
 }
 
@@ -151,6 +161,10 @@ pub(crate) struct ReliableState<M> {
     pub(crate) cfg: ReliableConfig,
     pub(crate) senders: BTreeMap<(NodeId, NodeId), SendChannel<M>>,
     pub(crate) receivers: BTreeMap<(NodeId, NodeId), RecvChannel>,
+    /// Recycled scratch for [`RecvChannel::accept`]'s in-order flush:
+    /// cleared before each arrival, never shrunk, so the reorder path
+    /// stops allocating once it has seen its widest burst.
+    pub(crate) ready: Vec<u64>,
 }
 
 impl<M> ReliableState<M> {
@@ -159,6 +173,7 @@ impl<M> ReliableState<M> {
             cfg,
             senders: BTreeMap::new(),
             receivers: BTreeMap::new(),
+            ready: Vec::new(),
         }
     }
 }
@@ -167,30 +182,48 @@ impl<M> ReliableState<M> {
 mod tests {
     use super::*;
 
+    /// Test helper: accept with a fresh scratch, returning the flushed
+    /// sequence numbers alongside the verdict.
+    fn accept(rc: &mut RecvChannel, seq: u64) -> (WireAccept, Vec<u64>) {
+        let mut ready = Vec::new();
+        let verdict = rc.accept(seq, &mut ready);
+        (verdict, ready)
+    }
+
     #[test]
     fn in_order_arrivals_deliver_immediately() {
         let mut rc = RecvChannel::default();
-        assert_eq!(rc.accept(0), WireAccept::Deliver(vec![0]));
-        assert_eq!(rc.accept(1), WireAccept::Deliver(vec![1]));
+        assert_eq!(accept(&mut rc, 0), (WireAccept::Deliver, vec![0]));
+        assert_eq!(accept(&mut rc, 1), (WireAccept::Deliver, vec![1]));
         assert_eq!(rc.expected, 2);
     }
 
     #[test]
     fn out_of_order_buffers_then_flushes_in_order() {
         let mut rc = RecvChannel::default();
-        assert_eq!(rc.accept(2), WireAccept::Buffered);
-        assert_eq!(rc.accept(1), WireAccept::Buffered);
-        assert_eq!(rc.accept(0), WireAccept::Deliver(vec![0, 1, 2]));
+        assert_eq!(accept(&mut rc, 2), (WireAccept::Buffered, vec![]));
+        assert_eq!(accept(&mut rc, 1), (WireAccept::Buffered, vec![]));
+        assert_eq!(accept(&mut rc, 0), (WireAccept::Deliver, vec![0, 1, 2]));
         assert!(rc.arrived.is_empty());
     }
 
     #[test]
     fn duplicates_are_suppressed_everywhere() {
         let mut rc = RecvChannel::default();
-        rc.accept(0);
-        assert_eq!(rc.accept(0), WireAccept::Duplicate); // already delivered
-        assert_eq!(rc.accept(2), WireAccept::Buffered);
-        assert_eq!(rc.accept(2), WireAccept::Duplicate); // already buffered
+        accept(&mut rc, 0);
+        assert_eq!(accept(&mut rc, 0).0, WireAccept::Duplicate); // already delivered
+        assert_eq!(accept(&mut rc, 2).0, WireAccept::Buffered);
+        assert_eq!(accept(&mut rc, 2).0, WireAccept::Duplicate); // already buffered
+    }
+
+    #[test]
+    fn accept_appends_to_recycled_scratch_without_clearing() {
+        // The caller owns clearing; accept only appends — pinned here so
+        // the zero-alloc contract in sim::wire_arrival stays honest.
+        let mut rc = RecvChannel::default();
+        let mut ready = vec![99];
+        assert_eq!(rc.accept(0, &mut ready), WireAccept::Deliver);
+        assert_eq!(ready, vec![99, 0]);
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl<M: Send> LiveContext<M> {
     pub fn note(&mut self, text: impl Into<String>) {
         self.log
             .lock()
+            // cmh-lint: allow(D7) — real-time console log, not the simulated message path.
             .push(format!("{}: {}", self.id, text.into()));
     }
 }

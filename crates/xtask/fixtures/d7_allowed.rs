@@ -1,0 +1,9 @@
+// Fixture: D7's sanctioned idiom — the summary is constructed behind
+// `Trace::is_enabled` on the same line — plus a marked legal ungated site.
+pub fn deliver(trace: &Trace, msg: u32) {
+    let summary = trace.is_enabled().then(|| format!("pkt seq={msg}"));
+    drop(summary);
+    // cmh-lint: allow(D7) — fixture: real-time log line, not the simulated message path
+    let line = format!("log {msg}");
+    drop(line);
+}

@@ -1,0 +1,20 @@
+// Fixture: D7 fires on per-message summaries not gated on `is_enabled`.
+pub fn deliver(msg: u32) -> (String, String) {
+    let summary = summarize(&msg);
+    let tag = format!("pkt seq={msg}");
+    (summary, tag)
+}
+
+fn summarize<T: std::fmt::Debug>(msg: &T) -> String {
+    let mut s = String::new();
+    std::fmt::write(&mut s, format_args!("{msg:?}")).unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions may format freely.
+    fn scratch() -> String {
+        format!("test-only {}", 1)
+    }
+}

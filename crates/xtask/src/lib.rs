@@ -18,6 +18,7 @@
 //! | D4 | threads / data parallelism outside `cmh_bench::sweep` |
 //! | D5 | `todo!` / `unimplemented!` / `dbg!` in non-test code |
 //! | D6 | crate roots missing the `forbid(unsafe_code)` + `warn(missing_docs)` header |
+//! | D7 | `summarize(` / `format!(` in simnet delivery code not gated on `Trace::is_enabled` |
 //!
 //! Intentional exceptions carry an allow marker comment naming the rule
 //! and a reason (grammar in [`scan`]); the pass lists every marker in its
@@ -50,6 +51,13 @@ use scan::{discover_workspace, rust_files, scan_file, FilePolicy, LintReport};
 /// single-threaded* runs out across cores.
 pub const D4_EXEMPT: &str = "crates/bench/src/sweep.rs";
 
+/// The directory whose files rule D7 applies to: the simulator's
+/// non-test sources, i.e. the send→wire→deliver path whose steady state
+/// must stay allocation-free (`crates/simnet/tests/alloc_regression.rs`
+/// pins the property at runtime; D7 rejects the usual way of breaking
+/// it — an ungated per-message summary — at lint time).
+pub const D7_SCOPE: &str = "crates/simnet/src";
+
 /// Lints the whole workspace rooted at `root` (skipping `vendor/` and
 /// `target/` by construction: only member crates' `src`, `tests`,
 /// `benches` and `examples` directories are scanned).
@@ -65,6 +73,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                     vec![Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
                 if rel == Path::new(D4_EXEMPT) {
                     line_rules.retain(|&r| r != Rule::D4);
+                }
+                if rel.starts_with(D7_SCOPE) {
+                    line_rules.push(Rule::D7);
                 }
                 let policy = FilePolicy {
                     line_rules,
@@ -87,7 +98,7 @@ pub fn lint_fixtures(dir: &Path) -> io::Result<LintReport> {
     for path in rust_files(dir) {
         let rel = path.strip_prefix(dir).unwrap_or(&path).to_path_buf();
         let policy = FilePolicy {
-            line_rules: vec![Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5],
+            line_rules: vec![Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D7],
             crate_root: path.file_name().is_some_and(|n| n == "lib.rs"),
             test_file: false,
         };

@@ -1,10 +1,12 @@
-//! The cmh-lint rule set (D1–D6) and its matchers.
+//! The cmh-lint rule set (D1–D7) and its matchers.
 //!
-//! Every rule exists to protect one property: **a seeded run is a pure
-//! function of its inputs**. The golden-digest tests detect a determinism
-//! break after the fact; these rules reject the constructs that cause
-//! them before the code runs. See DESIGN.md §10 for the written rationale
-//! of each rule.
+//! Rules D1–D6 protect one property: **a seeded run is a pure function
+//! of its inputs**. The golden-digest tests detect a determinism break
+//! after the fact; these rules reject the constructs that cause them
+//! before the code runs. D7 protects a second pinned property — the
+//! simulator's steady-state message path is allocation-free — enforced
+//! after the fact by `crates/simnet/tests/alloc_regression.rs`. See
+//! DESIGN.md §10 for the written rationale of each rule.
 
 use std::fmt;
 
@@ -28,6 +30,11 @@ pub enum Rule {
     /// Crate roots must carry `#![forbid(unsafe_code)]` and
     /// `#![warn(missing_docs)]`.
     D6,
+    /// No ungated `summarize(` / `format!(` in simnet's non-test
+    /// delivery code: the construction must sit behind
+    /// `Trace::is_enabled` on the same line, or carry an allow marker,
+    /// so the steady-state message path stays allocation-free.
+    D7,
     /// Pseudo-rule: a malformed `cmh-lint` marker comment (unknown rule
     /// id, missing reason). Cannot itself be allowed.
     BadMarker,
@@ -35,7 +42,15 @@ pub enum Rule {
 
 impl Rule {
     /// All real (allowable) rules.
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::D6,
+        Rule::D7,
+    ];
 
     /// Parses a rule id as written in an allow marker.
     pub fn parse(s: &str) -> Option<Rule> {
@@ -46,6 +61,7 @@ impl Rule {
             "D4" => Some(Rule::D4),
             "D5" => Some(Rule::D5),
             "D6" => Some(Rule::D6),
+            "D7" => Some(Rule::D7),
             _ => None,
         }
     }
@@ -59,6 +75,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
             Rule::BadMarker => "marker",
         }
     }
@@ -72,6 +89,7 @@ impl Rule {
             Rule::D4 => "thread spawn/parallelism outside cmh_bench::sweep",
             Rule::D5 => "todo!/unimplemented!/dbg! in non-test code",
             Rule::D6 => "crate root missing #![forbid(unsafe_code)] / #![warn(missing_docs)]",
+            Rule::D7 => "per-message summary not gated on Trace::is_enabled (allocates on the hot message path)",
             Rule::BadMarker => "malformed cmh-lint marker",
         }
     }
@@ -105,6 +123,10 @@ fn patterns(rule: Rule) -> &'static [&'static str] {
             "available_parallelism",
         ],
         Rule::D5 => &["todo!", "unimplemented!", "dbg!"],
+        // Trailing `(` keeps declarations like `fn summarize<M>(...)` and
+        // identifiers like `summarized` from matching: only call syntax
+        // allocates.
+        Rule::D7 => &["summarize(", "format!("],
         Rule::D6 | Rule::BadMarker => &[],
     }
 }
@@ -187,6 +209,26 @@ mod tests {
         assert!(token_match("todo!()", "todo!"));
         assert!(!token_match("my_todo!()", "todo!"));
         assert!(token_match("let x = dbg!(y);", "dbg!"));
+    }
+
+    #[test]
+    fn d7_matches_calls_not_declarations() {
+        assert!(token_match("let s = summarize(&msg);", "summarize("));
+        assert!(token_match(
+            "let t = format!(\"pkt seq={seq}\");",
+            "format!("
+        ));
+        assert!(!token_match(
+            "fn summarize<M: fmt::Debug>(msg: &M) -> String {",
+            "summarize("
+        ));
+        assert!(!token_match("resummarize(&msg)", "summarize("));
+        // The gated idiom still *matches*; scan_file exempts it when
+        // `is_enabled` shares the line.
+        assert!(token_match(
+            "let s = trace.is_enabled().then(|| summarize(&msg));",
+            "summarize("
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```text
 //! <marker>    := "cmh-lint:" <scope> "(" <rules> ")" <sep> <reason>
 //! <scope>     := "allow" | "allow-file"
-//! <rules>     := rule id ("D1".."D6"), comma-separated
+//! <rules>     := rule id ("D1".."D7"), comma-separated
 //! <sep>       := "—" | "--" | "-"
 //! <reason>    := non-empty free text
 //! ```
@@ -224,6 +224,19 @@ pub fn scan_file(file: &Path, source: &str, policy: &FilePolicy, report: &mut Li
                 && (policy.test_file || scan.test_lines.get(i).copied() == Some(true))
             {
                 continue;
+            }
+            if rule == Rule::D7 {
+                // Test regions may format freely (same carve-out as D5),
+                // and the sanctioned idiom — the summary constructed
+                // behind the trace gate *on the same line*, e.g.
+                // `trace.is_enabled().then(|| summarize(&msg))` — is
+                // compliant by construction.
+                if policy.test_file
+                    || scan.test_lines.get(i).copied() == Some(true)
+                    || line.contains("is_enabled")
+                {
+                    continue;
+                }
             }
             // debug_assert!/assert! messages live in strings (blanked), so
             // no extra assertion carve-out is needed.

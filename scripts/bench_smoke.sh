@@ -2,8 +2,11 @@
 # Quick-profile benchmark smoke run for CI: executes the two instrumented
 # experiment binaries with reduced seed counts (CMH_BENCH_QUICK=1) and
 # parallel sweeps on, then assembles target/experiments/BENCH_sim.json.
-# Catches harness regressions (missing records, malformed JSON, broken
-# parallel path) without the full experiment wall clock.
+# Catches harness regressions (missing records, malformed JSON, missing
+# per-phase wall-clock columns, broken parallel path) without the full
+# experiment wall clock. Also runs the allocation-regression test in
+# release so a drift in the message path's pinned per-message allocation
+# counts fails CI here, next to the throughput records it would corrupt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="target/experiments"
@@ -12,6 +15,9 @@ mkdir -p "$out" "$bench"
 rm -f "$bench"/*.json
 export CMH_BENCH_QUICK=1
 export CMH_PAR_SEEDS=1
+echo "== alloc regression (release) =="
+cargo test --quiet --release -p simnet --test alloc_regression
+echo
 for b in exp_probe_bounds exp_faults; do
   echo "== $b (quick) =="
   cargo run --quiet --release -p cmh-bench --bin "$b"
@@ -28,9 +34,18 @@ done
   done
   echo ']'
 } > "$out/BENCH_sim.json"
-# Fail loudly if the assembled file is not valid JSON (python3 is present
-# on all CI images; skip the check quietly where it is not).
+# Fail loudly if the assembled file is not valid JSON, or if any record
+# dropped the per-phase wall-clock columns (python3 is present on all CI
+# images; skip the check quietly where it is not).
 if command -v python3 >/dev/null 2>&1; then
-  python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$out/BENCH_sim.json"
+  python3 - "$out/BENCH_sim.json" <<'PY'
+import json, sys
+records = json.load(open(sys.argv[1]))
+phase_cols = ("sim_ms", "detector_ms", "verify_ms", "oracle_ms")
+for rec in records:
+    missing = [c for c in phase_cols if c not in rec]
+    if missing:
+        sys.exit(f"{rec.get('experiment', '?')}: missing phase columns {missing}")
+PY
 fi
 echo "bench smoke OK: $out/BENCH_sim.json"

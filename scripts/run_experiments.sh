@@ -3,7 +3,8 @@
 # markdown table plus a claim-check line; outputs land in target/experiments/.
 #
 # Performance records: instrumented binaries write detailed JSON
-# (events/sec, probes/sec, peak event-queue depth) to
+# (events/sec, probes/sec, peak event-queue depth, and the per-phase
+# wall-clock split sim_ms/detector_ms/verify_ms/oracle_ms) to
 # target/experiments/bench/<exp>.json; this script times the rest and
 # assembles everything into target/experiments/BENCH_sim.json.
 #
