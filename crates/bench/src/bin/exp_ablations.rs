@@ -63,6 +63,9 @@ fn part_a() {
                 .expect("soundness holds at any window");
             cells.push(db.declarations().len().to_string());
         }
+        // Undetected deadlocks (small windows) classify as Deadlocked,
+        // not Wedged — liveness must hold at any window.
+        db.verify_liveness().expect("no wedged transactions");
         let complete = db.verify_completeness().is_ok();
         t.row([
             window.to_string(),

@@ -41,6 +41,7 @@ fn run(sites: usize, transactions: usize, seed: u64, naive: bool) -> (u64, u64, 
     db.run_until(SimTime::from_ticks(60_000));
     db.verify_soundness().expect("sound");
     db.verify_completeness().expect("complete");
+    db.verify_liveness().expect("no wedged transactions");
     (
         db.computations_initiated(),
         db.metrics().get(counters::PROBE_SENT),

@@ -46,6 +46,16 @@ pub enum ValidationError {
         /// Human-readable description of the axiom violation.
         detail: String,
     },
+    /// Liveness violated: blocked vertices whose wait chains can never be
+    /// satisfied — they reach no dark cycle (which resolution would
+    /// break), no active vertex (which could release), and no message is
+    /// in flight that could still change either fact.
+    Wedged {
+        /// The wedged vertices.
+        wedged: Vec<NodeId>,
+        /// When the classification was taken.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -62,8 +72,32 @@ impl fmt::Display for ValidationError {
             ValidationError::IllegalHistory { detail } => {
                 write!(f, "journal is not a legal G1-G4 history: {detail}")
             }
+            ValidationError::Wedged { wedged, at } => {
+                write!(f, "liveness violation at t={}: wedged vertices", at.ticks())?;
+                for v in wedged {
+                    write!(f, " {v:?}")?;
+                }
+                Ok(())
+            }
         }
     }
+}
+
+/// Liveness class of one vertex (the basic-model analogue of
+/// `cmh_ddb::TxnClass`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodeClass {
+    /// Not blocked: no outgoing wait-for edges.
+    Active,
+    /// Blocked, but the wait chain reaches a dark cycle (resolution's
+    /// problem), an active vertex (which can release), or a message is in
+    /// flight that may still unblock it.
+    GenuinelyWaiting,
+    /// On a dark cycle itself.
+    Deadlocked,
+    /// Blocked forever with no dissolution path — a harness or protocol
+    /// bug, never a legitimate state.
+    Wedged,
 }
 
 impl std::error::Error for ValidationError {}
@@ -327,6 +361,89 @@ impl BasicNet {
             }
         }
         Ok(total)
+    }
+
+    /// Classifies every vertex of the current graph (see [`NodeClass`]).
+    /// Crashed vertices are skipped — their edges are torn down on crash
+    /// and whatever waits on them is the fault model's business, not a
+    /// liveness bug.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::IllegalHistory`] if the journal is broken.
+    pub fn liveness_classes(&self) -> Result<Vec<(NodeId, NodeClass)>, ValidationError> {
+        let g = self.current_graph()?;
+        let mut oracle = self.oracle.borrow_mut();
+        let dark = oracle.dark_cycle_members(&g);
+        let in_flight = self.sim.in_flight_messages();
+        let mut out = Vec::new();
+        for i in 0..self.sim.node_count() {
+            let v = NodeId(i);
+            if self.is_crashed(v) {
+                continue;
+            }
+            if g.is_active(v) {
+                out.push((v, NodeClass::Active));
+                continue;
+            }
+            // BFS along wait chains: whatever this vertex transitively
+            // waits on decides whether the wait can ever end.
+            let mut seen = std::collections::BTreeSet::new();
+            let mut queue = std::collections::VecDeque::new();
+            seen.insert(v);
+            queue.push_back(v);
+            let mut class = None;
+            let mut reaches_exit = false;
+            while let Some(u) = queue.pop_front() {
+                if dark.contains(&u) {
+                    class = Some(if u == v {
+                        NodeClass::Deadlocked
+                    } else {
+                        NodeClass::GenuinelyWaiting
+                    });
+                    break;
+                }
+                if u != v && g.is_active(u) {
+                    reaches_exit = true;
+                }
+                for e in g.out_edges(u) {
+                    if seen.insert(e.to) {
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            let class = class.unwrap_or(if reaches_exit || in_flight > 0 {
+                NodeClass::GenuinelyWaiting
+            } else {
+                NodeClass::Wedged
+            });
+            out.push((v, class));
+        }
+        Ok(out)
+    }
+
+    /// Runs [`BasicNet::liveness_classes`] and fails if any vertex is
+    /// wedged.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::Wedged`] listing the wedged vertices, or
+    /// [`ValidationError::IllegalHistory`].
+    pub fn verify_liveness(&self) -> Result<Vec<(NodeId, NodeClass)>, ValidationError> {
+        let classes = self.liveness_classes()?;
+        let wedged: Vec<NodeId> = classes
+            .iter()
+            .filter(|(_, c)| *c == NodeClass::Wedged)
+            .map(|&(v, _)| v)
+            .collect();
+        if wedged.is_empty() {
+            Ok(classes)
+        } else {
+            Err(ValidationError::Wedged {
+                wedged,
+                at: self.now(),
+            })
+        }
     }
 }
 

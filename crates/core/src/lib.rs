@@ -75,6 +75,6 @@ pub mod vset;
 pub mod wfgd;
 
 pub use config::{BasicConfig, ForwardPolicy, InitiationPolicy, ReplyPolicy};
-pub use engine::{BasicNet, ValidationError};
+pub use engine::{BasicNet, NodeClass, ValidationError};
 pub use probe::{DeadlockReport, ProbeTag};
 pub use process::{BasicMsg, BasicProcess, RequestError};

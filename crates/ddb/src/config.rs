@@ -74,6 +74,15 @@ pub struct DdbConfig {
     /// cancels Q−1 of them — the ablation experiment E11 measures the
     /// coverage loss). Clamped to at least 1.
     pub comp_window: u64,
+    /// §4 re-initiation: under [`DdbInitiation::OnBlockDelayed`], keep
+    /// re-arming the per-process initiation check every `t` ticks for as
+    /// long as the process stays blocked, instead of checking once. A
+    /// one-shot check is complete on a reliable network (the last edge to
+    /// close the cycle always gets its own check), but a single lost probe
+    /// kills the whole computation on a lossy one — the paper's timeout
+    /// `T` exists precisely so blocked processes retry. No effect under
+    /// the periodic rules, which re-initiate by construction.
+    pub reprobe: bool,
 }
 
 impl Default for DdbConfig {
@@ -82,6 +91,7 @@ impl Default for DdbConfig {
             initiation: DdbInitiation::default(),
             resolution: Resolution::default(),
             comp_window: DEFAULT_COMP_WINDOW,
+            reprobe: false,
         }
     }
 }
@@ -93,6 +103,7 @@ impl DdbConfig {
             initiation: DdbInitiation::PeriodicQOpt { period },
             resolution: Resolution::None,
             comp_window: DEFAULT_COMP_WINDOW,
+            reprobe: false,
         }
     }
 
@@ -104,12 +115,19 @@ impl DdbConfig {
                 restart_backoff: Some(restart_backoff),
             },
             comp_window: DEFAULT_COMP_WINDOW,
+            reprobe: false,
         }
     }
 
     /// Overrides the per-initiator computation window.
     pub fn with_comp_window(mut self, window: u64) -> Self {
         self.comp_window = window.max(1);
+        self
+    }
+
+    /// Enables §4 re-initiation (see [`DdbConfig::reprobe`]).
+    pub fn with_reprobe(mut self) -> Self {
+        self.reprobe = true;
         self
     }
 }

@@ -27,6 +27,22 @@
 //! bounded and concurrent computations coexist.
 //! Probes older than the window are ignored — exactly the paper's
 //! supersession, applied at window granularity.
+//!
+//! ## Holder back-edges (§6.4 completion)
+//!
+//! A remote agent `(T, S_m)` that *holds* resources at `S_m` while
+//! requesting nothing there is idle — in the §6.4 wait-for sense it waits
+//! for its home agent `(T, S_home)` to finish and release it. The edge
+//! `(T, S_m) → (T, S_home)` exists exactly while `T` is Running, holds at
+//! `S_m`, and has no outstanding un-granted request at `S_m` (the idle
+//! condition prevents a phantom 2-cycle of `T` with itself while a
+//! request is also queued there). Without this edge class, any cycle
+//! running *through* a remotely held resource is invisible: the holder
+//! agent has no outgoing edges, so probes die there and the Q-rule never
+//! initiates for the home agent it blocks. Probe forwarding
+//! ([`Controller::probes_for_labels`]), probe meaningfulness, the §6.7
+//! subject selection and the harness's graph reconstruction all carry
+//! the edge.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -74,6 +90,25 @@ pub mod counters {
     pub const GRANT_ORPHAN: &str = "ddb.grant.orphan";
     /// §5 WFGD messages sent between controllers.
     pub const WFGD_SENT: &str = "ddb.wfgd.sent";
+    /// Blocked scripts the grant-sweep found already satisfied by the lock
+    /// table and repaired (diagnostic; stays 0 unless wait bookkeeping
+    /// desynchronises from the lock table — the wedge class this counter
+    /// exists to surface).
+    pub const WEDGE_REPAIRED: &str = "ddb.wedge.repaired";
+    /// §4 re-initiation timers re-armed for still-blocked processes.
+    pub const REPROBE_ARMED: &str = "ddb.reprobe.armed";
+    /// Probe computations started by a re-armed (non-first) check.
+    pub const REPROBE_INITIATED: &str = "ddb.reprobe.initiated";
+    /// `RemoteRelease` messages that overtook the request they cancel and
+    /// left a tombstone behind (possible whenever a link reorders).
+    pub const CANCEL_TOMBSTONED: &str = "ddb.cancel.tombstoned";
+    /// Late `RemoteRequest` messages dropped against a tombstone — each
+    /// one was a phantom hold that would have wedged its lock queue.
+    pub const CANCEL_DROPPED: &str = "ddb.cancel.dropped_request";
+    /// Probe-computation completions suppressed because an abort was
+    /// processed after initiation (the evidence may certify a dissolved
+    /// cycle); each suppression re-initiates under the new generation.
+    pub const DECL_SUPPRESSED_STALE: &str = "ddb.decl.suppressed_stale";
 }
 
 const K_WORK: u64 = 0;
@@ -83,6 +118,27 @@ const K_RESTART: u64 = 3;
 /// Init-check for a *remote* agent queued in our lock table; the payload
 /// field carries the resource id instead of a script epoch.
 const K_INIT_CHECK_REMOTE: u64 = 4;
+/// §4 re-initiation: a re-armed init check for a home script (only armed
+/// under [`DdbConfig::reprobe`], after the first check found the process
+/// still blocked).
+const K_REPROBE: u64 = 5;
+/// Re-armed init check for a remote agent; payload carries the resource id.
+const K_REPROBE_REMOTE: u64 = 6;
+
+/// True if a controller timer with this tag can produce a deadlock
+/// declaration when it fires (the detector timer kinds). The stepping
+/// harness in [`crate::net`] uses this to decide when it needs a
+/// pre-event snapshot of the agent graph.
+pub(crate) fn timer_may_declare(tag: u64) -> bool {
+    !matches!(tag >> 56, K_WORK | K_RESTART)
+}
+
+/// True if a controller timer re-drives a script when it fires (work-step
+/// completions and restart backoffs) and can therefore change the
+/// wait-for graph without declaring anything.
+pub(crate) fn timer_drives_script(tag: u64) -> bool {
+    matches!(tag >> 56, K_WORK | K_RESTART)
+}
 
 fn enc_timer(kind: u64, txn: TransactionId, epoch: u64) -> u64 {
     (kind << 56) | ((txn.0 as u64 & 0xFF_FFFF) << 32) | (epoch & 0xFFFF_FFFF)
@@ -122,6 +178,43 @@ struct ScriptState {
     finished_at: Option<SimTime>,
 }
 
+/// Point-in-time wait state of one home script, as reported by
+/// [`Controller::script_snapshots`] for liveness auditing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitSnapshot {
+    /// Runnable (between steps); only transient under a healthy controller.
+    Ready,
+    /// Inside a `Work` step (a timer is pending).
+    Work,
+    /// Queued for a local resource.
+    Local(ResourceId),
+    /// Waiting for a remote grant.
+    Remote(SiteId, ResourceId),
+    /// AND-semantics multi-lock wait: the grants still outstanding.
+    Multi(Vec<(SiteId, ResourceId)>),
+}
+
+/// Point-in-time execution state of one home script, for liveness
+/// auditing (see [`crate::liveness`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptSnapshot {
+    /// The transaction.
+    pub txn: TransactionId,
+    /// Current status.
+    pub status: TxnStatus,
+    /// Program counter into the script.
+    pub pc: usize,
+    /// Total steps in the script.
+    pub step_count: usize,
+    /// Times the script was started (1 = never aborted).
+    pub attempts: u32,
+    /// Progress epoch: bumped on every waiting-state change, so a stalled
+    /// epoch across a widening time window means a stalled transaction.
+    pub epoch: u64,
+    /// What the script is blocked on right now.
+    pub waiting: WaitSnapshot,
+}
+
 /// Summary of one transaction's fate, for experiment reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxnOutcome {
@@ -152,9 +245,29 @@ pub struct Controller {
     /// Incoming black inter-controller edges: `(txn, resource) → origin`.
     /// Present from `RemoteRequest` receipt until the grant is sent.
     pending_remote: BTreeMap<(TransactionId, ResourceId), SiteId>,
+    /// Cancellation tombstones: a `RemoteRelease` that found neither a
+    /// hold, a queued request, nor a pending grant for `(txn, resource)`
+    /// must have **overtaken** the `RemoteRequest` it cancels (links
+    /// reorder under the latency model). The count is recorded here and
+    /// the late request is dropped on arrival — otherwise it would
+    /// re-queue with no home-side state left to ever cancel it, leaking a
+    /// phantom hold that wedges every transaction behind it (the ISSUE 6
+    /// batching wedge: aborts with many in-flight `lock_all` requests).
+    cancelled: BTreeMap<(TransactionId, ResourceId), u32>,
     own_n: u64,
     own_subjects: BTreeMap<u64, TransactionId>,
+    /// `abort_gen` at each own computation's initiation. Probe-chain
+    /// evidence certifies edges as of probe-send time; an abort processed
+    /// here after initiation may have dissolved the certified cycle, so a
+    /// completion under a newer generation is suppressed and the
+    /// computation re-initiated (§4) rather than declared on stale
+    /// evidence. Aborts are the only event that can dissolve a dark
+    /// cycle, which makes this the exact staleness condition observable
+    /// at the declaring site.
+    own_gen: BTreeMap<u64, u64>,
     own_declared: BTreeSet<u64>,
+    /// Bumped every time this controller processes an abort.
+    abort_gen: u64,
     comps: BTreeMap<DdbProbeTag, CompState>,
     declarations: Vec<DdbDeadlock>,
     declared_txns: BTreeSet<TransactionId>,
@@ -185,9 +298,12 @@ impl Controller {
             remote_waits: BTreeMap::new(),
             remote_held: BTreeMap::new(),
             pending_remote: BTreeMap::new(),
+            cancelled: BTreeMap::new(),
             own_n: 0,
             own_subjects: BTreeMap::new(),
+            own_gen: BTreeMap::new(),
             own_declared: BTreeSet::new(),
+            abort_gen: 0,
             comps: BTreeMap::new(),
             declarations: Vec::new(),
             declared_txns: BTreeSet::new(),
@@ -238,6 +354,53 @@ impl Controller {
     /// Status of a transaction homed here.
     pub fn txn_status(&self, txn: TransactionId) -> Option<TxnStatus> {
         self.scripts.get(&txn).map(|s| s.status)
+    }
+
+    /// Execution snapshots of every script homed here, in txn order.
+    pub fn script_snapshots(&self) -> Vec<ScriptSnapshot> {
+        self.scripts
+            .iter()
+            .map(|(&txn, s)| ScriptSnapshot {
+                txn,
+                status: s.status,
+                pc: s.pc,
+                step_count: s.txn.steps().len(),
+                attempts: s.attempts,
+                epoch: s.epoch,
+                waiting: match &s.waiting {
+                    Waiting::None => WaitSnapshot::Ready,
+                    Waiting::Work => WaitSnapshot::Work,
+                    Waiting::Local(r) => WaitSnapshot::Local(*r),
+                    Waiting::Remote(m, r) => WaitSnapshot::Remote(*m, *r),
+                    Waiting::Multi(p) => WaitSnapshot::Multi(p.iter().copied().collect()),
+                },
+            })
+            .collect()
+    }
+
+    /// Un-granted remote requests queued in this site's lock table, as
+    /// `(txn, resource, home site)` triples.
+    pub fn pending_remote_requests(&self) -> Vec<(TransactionId, ResourceId, SiteId)> {
+        self.pending_remote
+            .iter()
+            .map(|(&(t, r), &home)| (t, r, home))
+            .collect()
+    }
+
+    /// Outstanding remote waits of home transaction `txn`.
+    pub fn remote_waits_of(&self, txn: TransactionId) -> Vec<(SiteId, ResourceId)> {
+        self.remote_waits
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Resources home transaction `txn` currently holds at remote sites.
+    pub fn remote_held_of(&self, txn: TransactionId) -> Vec<(SiteId, ResourceId)> {
+        self.remote_held
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Number of probe computations this controller has initiated.
@@ -333,11 +496,13 @@ impl Controller {
         };
         ctx.count(counters::INITIATED);
         self.own_subjects.insert(self.own_n, subject);
+        self.own_gen.insert(self.own_n, self.abort_gen);
         if let Some(&oldest) = self.own_subjects.keys().next() {
             let window = self.cfg.comp_window.max(1);
             if self.own_n - oldest >= window {
                 let cutoff = self.own_n - window;
                 self.own_subjects.retain(|&n, _| n > cutoff);
+                self.own_gen.retain(|&n, _| n > cutoff);
                 self.own_declared.retain(|&n| n > cutoff);
             }
         }
@@ -485,10 +650,21 @@ impl Controller {
         }
     }
 
-    fn release_everything(&mut self, ctx: &mut Context<'_, DdbMsg>, id: TransactionId) {
-        for (resource, granted) in self.locks.release_all(id) {
-            self.handle_grants(ctx, resource, granted);
+    /// §4 re-initiation: after a check fires on a still-blocked process,
+    /// re-arm it for another period `t` (only under [`DdbConfig::reprobe`]
+    /// and the on-block rule — periodic rules re-initiate on their own).
+    fn arm_reprobe(&mut self, ctx: &mut Context<'_, DdbMsg>, kind: u64, id: TransactionId, p: u64) {
+        if !self.cfg.reprobe {
+            return;
         }
+        if let DdbInitiation::OnBlockDelayed { t } = self.cfg.initiation {
+            ctx.count(counters::REPROBE_ARMED);
+            ctx.set_timer(t, enc_timer(kind, id, p));
+        }
+    }
+
+    fn release_everything(&mut self, ctx: &mut Context<'_, DdbMsg>, id: TransactionId) {
+        self.sweep_release_all(ctx, id);
         let mut remote: BTreeSet<(SiteId, ResourceId)> =
             self.remote_waits.remove(&id).unwrap_or_default();
         remote.extend(self.remote_held.remove(&id).unwrap_or_default());
@@ -504,7 +680,26 @@ impl Controller {
         }
     }
 
-    fn handle_grants(
+    /// Grant-sweep entry point for a single-resource release. Every
+    /// controller code path that releases a lock must route through
+    /// [`Self::sweep_release`] / [`Self::sweep_release_all`] (lint rule
+    /// D8): releasing without sweeping leaves granted-but-unexamined
+    /// waiters behind, the wedge class the liveness layer exists to kill.
+    fn sweep_release(&mut self, ctx: &mut Context<'_, DdbMsg>, txn: TransactionId, r: ResourceId) {
+        let granted = self.locks.release(txn, r); // cmh-lint: allow(D8) — the sweep entry point itself
+        self.sweep_grants(ctx, r, granted);
+    }
+
+    /// Grant-sweep entry point for a full release (commit/abort); see
+    /// [`Self::sweep_release`].
+    fn sweep_release_all(&mut self, ctx: &mut Context<'_, DdbMsg>, txn: TransactionId) {
+        let freed = self.locks.release_all(txn); // cmh-lint: allow(D8) — the sweep entry point itself
+        for (resource, granted) in freed {
+            self.sweep_grants(ctx, resource, granted);
+        }
+    }
+
+    fn sweep_grants(
         &mut self,
         ctx: &mut Context<'_, DdbMsg>,
         resource: ResourceId,
@@ -543,6 +738,63 @@ impl Controller {
                 ctx.count(counters::GRANT_ORPHAN);
             }
         }
+        self.sweep_wedged_waiters(ctx, resource);
+    }
+
+    /// The deterministic grant-sweep proper: after any grant wave on
+    /// `resource`, re-examine every blocked home script whose wait on
+    /// `resource` at this site the lock table already satisfies (it holds
+    /// the lock yet still records the wait) and advance it. With
+    /// consistent bookkeeping nothing matches and
+    /// [`counters::WEDGE_REPAIRED`] stays 0; the sweep exists so a future
+    /// bookkeeping slip degrades from a permanent wedge into a counted,
+    /// trace-visible repair. Deterministic: driven purely by grant/release
+    /// events, iterating scripts in `BTreeMap` order — no polling, no
+    /// wall-clock.
+    fn sweep_wedged_waiters(&mut self, ctx: &mut Context<'_, DdbMsg>, resource: ResourceId) {
+        let site = self.site;
+        let stuck: Vec<TransactionId> = self
+            .scripts
+            .iter()
+            .filter(|&(&t, st)| {
+                st.status == TxnStatus::Running
+                    && match &st.waiting {
+                        Waiting::Local(r) => *r == resource,
+                        Waiting::Multi(p) => p.contains(&(site, resource)),
+                        _ => false,
+                    }
+                    && self.locks.holds(t, resource)
+                    && !self.locks.is_waiting(t, resource)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for t in stuck {
+            ctx.count(counters::WEDGE_REPAIRED);
+            if ctx.tracing() {
+                ctx.note(format!(
+                    "grant-sweep repaired wedged wait of {t} on {resource}"
+                ));
+            }
+            let st = self.scripts.get_mut(&t).expect("script exists");
+            match &mut st.waiting {
+                Waiting::Local(_) => {
+                    st.waiting = Waiting::None;
+                    st.epoch += 1;
+                    st.pc += 1;
+                    self.advance(ctx, t);
+                }
+                Waiting::Multi(pending) => {
+                    pending.remove(&(site, resource));
+                    st.epoch += 1;
+                    if pending.is_empty() {
+                        st.waiting = Waiting::None;
+                        st.pc += 1;
+                        self.advance(ctx, t);
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     fn abort_local(&mut self, ctx: &mut Context<'_, DdbMsg>, id: TransactionId) {
@@ -556,6 +808,9 @@ impl Controller {
         st.finished_at = Some(ctx.now());
         st.waiting = Waiting::None;
         st.epoch += 1;
+        // Evidence gathered by in-flight computations may certify a cycle
+        // this abort dissolves; see `own_gen`.
+        self.abort_gen += 1;
         ctx.count(counters::ABORTED);
         if ctx.tracing() {
             ctx.note(format!("{id} aborted for deadlock resolution"));
@@ -579,7 +834,19 @@ impl Controller {
     // ----- internals: probe computation -----
 
     /// Probes implied by freshly labelled processes: one per labelled
-    /// process × distinct remote wait site, deduplicated per computation.
+    /// process × distinct outgoing inter-controller edge, deduplicated per
+    /// computation. Two edge classes leave a local agent `(a, S_me)`:
+    ///
+    /// * at `a`'s **home** — one edge per distinct remote wait site;
+    /// * at a **remote** site — the holder back-edge `(a, S_me) → (a,
+    ///   home)`: an agent that holds locally while requesting nothing here
+    ///   is idle, and an idle remote holder waits (in the §6.4 sense) for
+    ///   its home agent to finish and release it. Without this edge a
+    ///   cycle running *through* a remotely held resource is invisible to
+    ///   the probe computation (the wedge class ISSUE 6 fixes). The idle
+    ///   condition keeps the edge out while `a` still has an un-granted
+    ///   request here — otherwise the back-edge plus `a`'s own wait edge
+    ///   would form a phantom 2-cycle of `a` with itself.
     fn probes_for_labels(
         &self,
         comp: &mut CompState,
@@ -598,6 +865,58 @@ impl Controller {
                 if comp.mark_sent(a, m) {
                     let edge = (AgentId::new(a, self.site), AgentId::new(a, m));
                     out.push((m, edge));
+                }
+            }
+            if let Some(&home) = self.txn_home.get(&a) {
+                if home != self.site
+                    && self.locks.holds_any(a)
+                    && !self.locks.is_waiting_anywhere(a)
+                    && comp.mark_sent(a, home)
+                {
+                    let edge = (AgentId::new(a, self.site), AgentId::new(a, home));
+                    out.push((home, edge));
+                }
+            }
+        }
+        out
+    }
+
+    /// True iff the holder back-edge `(t, from) → (t, S_me)` exists: `t`
+    /// is homed here and Running, holds something at `from`, and has no
+    /// outstanding un-granted request at `from` (idle remote holder; see
+    /// [`Self::probes_for_labels`]).
+    fn holder_edge_from(&self, from: SiteId, t: TransactionId) -> bool {
+        if self.scripts.get(&t).map(|s| s.status) != Some(TxnStatus::Running) {
+            return false;
+        }
+        let holds = self
+            .remote_held
+            .get(&t)
+            .is_some_and(|s| s.iter().any(|&(m, _)| m == from));
+        let waits = self
+            .remote_waits
+            .get(&t)
+            .is_some_and(|s| s.iter().any(|&(m, _)| m == from));
+        holds && !waits
+    }
+
+    /// Incoming holder back-edges of home agents, as `(txn, remote site)`
+    /// pairs: the agent-level edge `(txn, m) → (txn, S_me)` exists for
+    /// each (see [`Self::probes_for_labels`] for the edge semantics). Used
+    /// by the harness's graph reconstruction.
+    pub fn holder_back_edges(&self) -> BTreeSet<(TransactionId, SiteId)> {
+        let mut out = BTreeSet::new();
+        for (&t, held) in &self.remote_held {
+            if self.scripts.get(&t).map(|s| s.status) != Some(TxnStatus::Running) {
+                continue;
+            }
+            for &(m, _) in held {
+                let waits_there = self
+                    .remote_waits
+                    .get(&t)
+                    .is_some_and(|w| w.iter().any(|&(wm, _)| wm == m));
+                if !waits_there {
+                    out.insert((t, m));
                 }
             }
         }
@@ -638,14 +957,21 @@ impl Controller {
             "inter-controller edge spans one transaction"
         );
         let t = tail.txn;
-        // Meaningful iff the inter-controller edge exists and is black: we
-        // hold an un-granted remote request for `t` from `tail.site` (P3).
-        // `pending_remote` is keyed `(txn, resource)`, so `t`'s entries form
-        // one contiguous range — no full-map scan.
+        // Meaningful iff the inter-controller edge exists and is black (P3).
+        // Two disjoint cases: a *wait* edge — we hold an un-granted remote
+        // request for `t` from `tail.site` (`pending_remote` is keyed
+        // `(txn, resource)`, so `t`'s entries form one contiguous range —
+        // no full-map scan) — or a *holder back-edge* into `t`'s home
+        // agent here (disjoint because a back-edge requires `t` idle at
+        // `tail.site`, while a wait edge requires an un-granted request
+        // there). A conservative rejection while messages are in flight
+        // only delays detection (the §4 timeout re-initiates); it never
+        // declares falsely.
         let meaningful = self
             .pending_remote
             .range((t, ResourceId(0))..=(t, ResourceId(u64::MAX)))
-            .any(|(_, &origin)| origin == tail.site);
+            .any(|(_, &origin)| origin == tail.site)
+            || self.holder_edge_from(tail.site, t);
         if !meaningful {
             ctx.count(counters::PROBE_DISCARDED);
             return;
@@ -690,11 +1016,26 @@ impl Controller {
         // reaches the subject through intra-controller edges that are part
         // of the (permanent) cycle and therefore present right now.
         let mut declare_subject = None;
+        let mut reinitiate_subject = None;
         if tag.initiator == self.site && !self.own_declared.contains(&tag.n) {
             if let Some(&subject) = self.own_subjects.get(&tag.n) {
                 if closure.contains(&subject) && !self.declared_txns.contains(&subject) {
-                    self.own_declared.insert(tag.n);
-                    declare_subject = Some(subject);
+                    // Staleness guard: an abort processed since this
+                    // computation started may have dissolved the cycle the
+                    // probe chain certified. Retire the computation and
+                    // re-initiate under the current generation (§4)
+                    // instead of risking a phantom declaration.
+                    if self.own_gen.get(&tag.n) == Some(&self.abort_gen) {
+                        self.own_declared.insert(tag.n);
+                        declare_subject = Some(subject);
+                    } else {
+                        self.own_declared.insert(tag.n);
+                        ctx.count(counters::DECL_SUPPRESSED_STALE);
+                        if ctx.tracing() {
+                            ctx.note(format!("suppress stale completion of {tag} for {subject}"));
+                        }
+                        reinitiate_subject = Some(subject);
+                    }
                 }
             }
         }
@@ -706,6 +1047,9 @@ impl Controller {
         }
         if let Some(subject) = declare_subject {
             self.declare(ctx, subject, Some(tag));
+        }
+        if let Some(subject) = reinitiate_subject {
+            self.initiate_for(ctx, subject);
         }
     }
 
@@ -776,8 +1120,29 @@ impl Controller {
             s
         } else {
             // Q-optimisation: only processes with an incoming black
-            // inter-controller edge.
-            self.pending_remote.keys().map(|&(t, _)| t).collect()
+            // inter-controller edge. Incoming edges of local agents come
+            // in two classes: un-granted remote requests queued here
+            // (wait edges into a remote agent), and holder back-edges
+            // into a *home* agent from its idle remote holders — without
+            // the latter, a cycle whose only entry into this site runs
+            // through a remotely held resource gets no computation.
+            let mut s: BTreeSet<TransactionId> =
+                self.pending_remote.keys().map(|&(t, _)| t).collect();
+            for (&t, held) in &self.remote_held {
+                if self.scripts.get(&t).map(|st| st.status) != Some(TxnStatus::Running) {
+                    continue;
+                }
+                let idle_hold = held.iter().any(|&(m, _)| {
+                    !self
+                        .remote_waits
+                        .get(&t)
+                        .is_some_and(|w| w.iter().any(|&(wm, _)| wm == m))
+                });
+                if idle_hold {
+                    s.insert(t);
+                }
+            }
+            s
         };
         for t in subjects {
             self.initiate_for(ctx, t);
@@ -797,7 +1162,7 @@ impl Process<DdbMsg> for Controller {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, DdbMsg>, _from: NodeId, msg: DdbMsg) {
+    fn on_message(&mut self, ctx: &mut Context<'_, DdbMsg>, from: NodeId, msg: DdbMsg) {
         match msg {
             DdbMsg::RemoteRequest {
                 txn,
@@ -805,6 +1170,20 @@ impl Process<DdbMsg> for Controller {
                 mode,
                 home,
             } => {
+                if let Some(n) = self.cancelled.get_mut(&(txn, resource)) {
+                    // The cancelling release overtook this request: it was
+                    // revoked before it ever reached us. Processing it now
+                    // would install a hold no one remembers to release.
+                    *n -= 1;
+                    if *n == 0 {
+                        self.cancelled.remove(&(txn, resource));
+                    }
+                    ctx.count(counters::CANCEL_DROPPED);
+                    if ctx.tracing() {
+                        ctx.note(format!("dropped cancelled request {txn} for {resource}"));
+                    }
+                    return;
+                }
                 self.txn_home.insert(txn, home);
                 match self.locks.request(txn, resource, mode) {
                     LockOutcome::Granted => {
@@ -824,21 +1203,27 @@ impl Process<DdbMsg> for Controller {
                 }
             }
             DdbMsg::Acquired { txn, resource } => {
-                // Identify which remote wait this grant satisfies.
+                // The grant satisfies the wait on (granting site, resource)
+                // — and only that one. Matching by resource alone
+                // misattributes the grant when a `lock_all` waits for the
+                // same resource id at two sites: the home then books a
+                // phantom hold at the wrong site and keeps waiting for a
+                // grant the real site already sent — forever (the other
+                // face of the ISSUE 6 batching wedge).
+                let entry = (SiteId(from.0), resource);
                 let Some(waits) = self.remote_waits.get_mut(&txn) else {
                     return; // transaction already aborted; release is in flight
                 };
-                let Some(&entry) = waits.iter().find(|&&(_, r)| r == resource) else {
-                    return;
-                };
-                waits.remove(&entry);
+                if !waits.remove(&entry) {
+                    return; // stale grant from an aborted attempt
+                }
                 if waits.is_empty() {
                     self.remote_waits.remove(&txn);
                 }
                 self.remote_held.entry(txn).or_default().insert(entry);
                 if let Some(st) = self.scripts.get_mut(&txn) {
                     match &mut st.waiting {
-                        Waiting::Remote(m, r) if (*m, *r) == entry && *r == resource => {
+                        Waiting::Remote(m, r) if (*m, *r) == entry => {
                             st.waiting = Waiting::None;
                             st.epoch += 1;
                             st.pc += 1;
@@ -858,10 +1243,20 @@ impl Process<DdbMsg> for Controller {
                 }
             }
             DdbMsg::RemoteRelease { txn, resource } => {
-                self.pending_remote.remove(&(txn, resource));
+                let had_pending = self.pending_remote.remove(&(txn, resource)).is_some();
+                let had_lock =
+                    self.locks.holds(txn, resource) || self.locks.is_waiting(txn, resource);
                 self.declared_txns.remove(&txn);
-                let granted = self.locks.release(txn, resource);
-                self.handle_grants(ctx, resource, granted);
+                if had_pending || had_lock {
+                    self.sweep_release(ctx, txn, resource);
+                } else {
+                    // Nothing to release: this cancellation overtook its
+                    // request on a reordering link. Tombstone it so the
+                    // late request is dropped instead of re-queuing as an
+                    // uncancellable phantom.
+                    *self.cancelled.entry((txn, resource)).or_insert(0) += 1;
+                    ctx.count(counters::CANCEL_TOMBSTONED);
+                }
             }
             DdbMsg::Probe { tag, edge } => self.handle_probe(ctx, tag, edge),
             DdbMsg::Abort { txn } => self.abort_local(ctx, txn),
@@ -889,7 +1284,7 @@ impl Process<DdbMsg> for Controller {
                     }
                 }
             }
-            K_INIT_CHECK => {
+            K_INIT_CHECK | K_REPROBE => {
                 let still_blocked = self.scripts.get(&txn).is_some_and(|st| {
                     st.status == TxnStatus::Running
                         && st.epoch == epoch
@@ -899,13 +1294,21 @@ impl Process<DdbMsg> for Controller {
                         )
                 });
                 if still_blocked {
-                    self.initiate_for(ctx, txn);
+                    let started = self.initiate_for(ctx, txn);
+                    if kind == K_REPROBE && started {
+                        ctx.count(counters::REPROBE_INITIATED);
+                    }
+                    self.arm_reprobe(ctx, K_REPROBE, txn, epoch);
                 }
             }
-            K_INIT_CHECK_REMOTE => {
+            K_INIT_CHECK_REMOTE | K_REPROBE_REMOTE => {
                 // `epoch` carries the resource id for remote-agent checks.
                 if self.locks.is_waiting(txn, crate::ids::ResourceId(epoch)) {
-                    self.initiate_for(ctx, txn);
+                    let started = self.initiate_for(ctx, txn);
+                    if kind == K_REPROBE_REMOTE && started {
+                        ctx.count(counters::REPROBE_INITIATED);
+                    }
+                    self.arm_reprobe(ctx, K_REPROBE_REMOTE, txn, epoch);
                 }
             }
             K_PERIODIC => {

@@ -36,6 +36,7 @@
 pub mod config;
 pub mod controller;
 pub mod ids;
+pub mod liveness;
 pub mod lock;
 pub mod msg;
 pub mod net;
@@ -46,6 +47,7 @@ pub mod wfgd;
 pub use config::{DdbConfig, DdbInitiation, Resolution};
 pub use controller::Controller;
 pub use ids::{AgentId, DdbProbeTag, ResourceId, SiteId, TransactionId};
+pub use liveness::{LivenessReport, TxnClass, TxnLiveness, Watchdog};
 pub use lock::{LockMode, LockOutcome, LockTable};
 pub use net::{DdbNet, DdbValidationError};
 pub use probe::DdbDeadlock;

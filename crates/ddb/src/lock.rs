@@ -299,6 +299,14 @@ impl LockTable {
         self.waiting_in.contains_key(&txn)
     }
 
+    /// `true` if `txn` holds at least one resource in this table — the
+    /// O(log n) test behind the holder back-edge reconstruction (a remote
+    /// agent that holds here while requesting nothing is, in the §6.4
+    /// sense, waiting for its home agent to finish and release it).
+    pub fn holds_any(&self, txn: TransactionId) -> bool {
+        self.holding_in.contains_key(&txn)
+    }
+
     /// `true` if `txn` holds `resource` in any mode.
     pub fn holds(&self, txn: TransactionId, resource: ResourceId) -> bool {
         self.entries

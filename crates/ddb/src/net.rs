@@ -16,18 +16,36 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
 use simnet::metrics::Metrics;
-use simnet::sim::{Context, NodeId, RunOutcome, SimBuilder, Simulation};
+use simnet::sim::{Context, NodeId, PendingEvent, RunOutcome, SimBuilder, Simulation};
 use simnet::time::SimTime;
 use wfg::oracle::Oracle;
 use wfg::{oracle, WaitForGraph};
 
-use crate::config::DdbConfig;
-use crate::controller::{Controller, TxnOutcome};
-use crate::ids::{AgentId, SiteId};
+use crate::config::{DdbConfig, Resolution};
+use crate::controller::{
+    timer_drives_script, timer_may_declare, Controller, TxnOutcome, WaitSnapshot,
+};
+use crate::ids::{AgentId, SiteId, TransactionId};
+use crate::liveness::{LivenessReport, TxnClass, TxnLiveness};
 use crate::msg::DdbMsg;
 use crate::probe::DdbDeadlock;
-use crate::txn::Transaction;
+use crate::txn::{Transaction, TxnStatus};
+
+/// Which graph a soundness verdict was checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoundnessPhase {
+    /// Against the agent graph as it stood immediately before the event
+    /// that produced the declaration (the only sound reference under
+    /// resolution, where the triggered abort dissolves the evidence).
+    AtInstant,
+    /// Against the final reconstructed graph (valid without resolution,
+    /// where deadlocks are permanent).
+    Final,
+}
 
 /// Validation failure for a DDB run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,22 +55,59 @@ pub enum DdbValidationError {
     FalseDeadlock {
         /// The offending declaration.
         declaration: DdbDeadlock,
+        /// Which reference graph refuted it.
+        phase: SoundnessPhase,
     },
     /// A dark cycle exists whose processes were never declared.
     MissedDeadlock {
         /// The agents on the undetected cycle.
         cycle_members: Vec<AgentId>,
     },
+    /// Non-terminal transactions that are blocked with no deadlock below
+    /// them, no progressing transaction in reach, and no message in
+    /// flight: nothing will ever wake them (see [`crate::liveness`]).
+    Wedged {
+        /// The wedged transactions and their home sites.
+        wedged: Vec<(TransactionId, SiteId)>,
+        /// Observation time.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for DdbValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DdbValidationError::FalseDeadlock { declaration } => {
-                write!(f, "false deadlock: {declaration}")
+            DdbValidationError::FalseDeadlock { declaration, phase } => {
+                let against = match phase {
+                    SoundnessPhase::AtInstant => "at the instant of declaration",
+                    SoundnessPhase::Final => "in the final graph",
+                };
+                write!(
+                    f,
+                    "false deadlock: site {} declared {} at t={}, via {}, \
+                     but the process is on no dark cycle {against}",
+                    declaration.site,
+                    declaration.txn,
+                    declaration.at.ticks(),
+                    match declaration.tag {
+                        Some(tag) => format!("computation {tag}"),
+                        None => "a local cycle".to_owned(),
+                    },
+                )
             }
             DdbValidationError::MissedDeadlock { cycle_members } => {
                 write!(f, "missed deadlock over agents {cycle_members:?}")
+            }
+            DdbValidationError::Wedged { wedged, at } => {
+                write!(
+                    f,
+                    "liveness violation at t={}: wedged transactions",
+                    at.ticks()
+                )?;
+                for (t, s) in wedged {
+                    write!(f, " {t}@{s}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -93,11 +148,39 @@ impl std::error::Error for DdbValidationError {}
 pub struct DdbNet {
     sim: Simulation<DdbMsg, Controller>,
     n_sites: usize,
+    cfg: DdbConfig,
     /// Shared ground-truth oracle: reconstructed agent graphs are fresh
     /// objects each time (no memo hits), but the Tarjan scratch buffers
     /// are reused across every validation query.
     oracle: RefCell<Oracle>,
+    /// Per-site count of declarations already validated by the stepping
+    /// harness (under resolution, [`DdbNet::run_until`] steps
+    /// event-by-event and checks each fresh declaration against the
+    /// pre-event graph before the triggered abort dissolves it).
+    decl_seen: Vec<usize>,
+    /// Declarations instant-validated so far.
+    instant_checked: usize,
+    /// Declarations excused as stale echoes (see
+    /// [`DdbNet::verify_soundness`]).
+    instant_stale: usize,
+    /// First declaration that failed instant validation, if any.
+    instant_violation: Option<DdbDeadlock>,
+    /// Last time each transaction was observed on a dark cycle by a
+    /// validated snapshot — the evidence that excuses a stale echo.
+    recently_dark: BTreeMap<TransactionId, SimTime>,
+    /// Pre-event agent-graph snapshot, reused while the intervening
+    /// events provably cannot change the graph.
+    graph_cache: Option<(WaitForGraph, BTreeMap<AgentId, NodeId>)>,
 }
+
+/// How long (in ticks) after a transaction was last observed on a dark
+/// cycle a declaration of it is still excused as a **stale echo**. An
+/// abort dissolves a cycle, but its `RemoteRelease` messages take up to
+/// one link latency to land and probes already in flight keep certifying
+/// the dissolved cycle for up to a chain of such latencies — with the
+/// default latency bound of 10 and six sites, around a hundred ticks.
+/// Beyond the window, an off-cycle declaration is a genuine phantom.
+const STALE_ECHO_GRACE: u64 = 128;
 
 impl fmt::Debug for DdbNet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -123,7 +206,14 @@ impl DdbNet {
         DdbNet {
             sim,
             n_sites,
+            cfg,
             oracle: RefCell::new(Oracle::new()),
+            decl_seen: vec![0; n_sites],
+            instant_checked: 0,
+            instant_stale: 0,
+            instant_violation: None,
+            recently_dark: BTreeMap::new(),
+            graph_cache: None,
         }
     }
 
@@ -134,6 +224,7 @@ impl DdbNet {
 
     /// Submits a transaction to its home controller and starts it.
     pub fn submit(&mut self, txn: Transaction) {
+        self.graph_cache = None;
         let home = txn.home();
         self.sim
             .with_node(home.node(), |c, ctx| c.start_txn(ctx, txn));
@@ -145,13 +236,60 @@ impl DdbNet {
         site: SiteId,
         f: impl FnOnce(&mut Controller, &mut Context<'_, DdbMsg>) -> R,
     ) -> R {
+        self.graph_cache = None;
         self.sim.with_node(site.node(), f)
     }
 
     /// Runs until `deadline` (periodic detectors keep the queue non-empty,
     /// so quiescence-based runs are not meaningful for the DDB).
+    ///
+    /// Under [`Resolution::AbortSubject`] this steps event-by-event and
+    /// validates every fresh declaration against the agent graph **as it
+    /// stood immediately before the declaring event** — the abort a
+    /// declaration triggers dissolves its own evidence, so the final
+    /// graph cannot re-check it (the phantom-declaration failure mode
+    /// [`DdbNet::verify_soundness`] used to report). The pre-event graph
+    /// is snapshotted lazily: only before events that can declare, and
+    /// reused until an event that can change the graph intervenes.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
-        self.sim.run_until(deadline)
+        if !matches!(self.cfg.resolution, Resolution::AbortSubject { .. }) {
+            return self.sim.run_until(deadline);
+        }
+        let mut outcome = RunOutcome::default();
+        loop {
+            if self.sim.is_halted() {
+                outcome.halted = true;
+                return outcome;
+            }
+            match self.sim.next_event_at() {
+                Some(at) if at <= deadline => {}
+                _ => {
+                    // Queue empty or next event beyond the deadline: let
+                    // the scheduler advance the clock the usual way.
+                    let tail = self.sim.run_until(deadline);
+                    outcome.quiescent = tail.quiescent;
+                    outcome.halted = tail.halted;
+                    return outcome;
+                }
+            }
+            let (candidate, dirties) = match self.sim.peek_event() {
+                Some((_, ev)) => classify_event(&ev),
+                None => (false, true),
+            };
+            if candidate && self.graph_cache.is_none() {
+                self.graph_cache = Some(self.agent_graph());
+            }
+            self.sim.step();
+            outcome.events += 1;
+            let fresh = self.collect_new_declarations();
+            if !fresh.is_empty() {
+                self.validate_declarations(&fresh);
+                // The declarations' aborts change the graph.
+                self.graph_cache = None;
+            } else if dirties {
+                self.graph_cache = None;
+            }
+        }
     }
 
     /// Read access to a controller.
@@ -189,6 +327,12 @@ impl DdbNet {
     /// [`simnet::sim::Simulation::peak_queue_depth`]).
     pub fn peak_queue_depth(&self) -> usize {
         self.sim.peak_queue_depth()
+    }
+
+    /// Events (messages + timers) currently scheduled (see
+    /// [`simnet::sim::Simulation::pending_events`]).
+    pub fn pending_events(&self) -> usize {
+        self.sim.pending_events()
     }
 
     /// All declarations across all controllers, ordered by time.
@@ -235,6 +379,11 @@ impl DdbNet {
             for (t, m) in c.remote_wait_edges() {
                 edges.push((AgentId::new(t, site), AgentId::new(t, m)));
             }
+            // Holder back-edges (§6.4 completion): an idle remote holder
+            // agent waits for its home agent to send more work or commit.
+            for (t, m) in c.holder_back_edges() {
+                edges.push((AgentId::new(t, m), AgentId::new(t, site)));
+            }
         }
         let mut g = WaitForGraph::new();
         let mut next = 0usize;
@@ -256,6 +405,72 @@ impl DdbNet {
         (g, index)
     }
 
+    /// Declarations made since the last collection, in per-site
+    /// controller order (same-time declarations from one event stay in
+    /// the order the controller produced them — the global sorted list
+    /// cannot guarantee that).
+    fn collect_new_declarations(&mut self) -> Vec<DdbDeadlock> {
+        let mut fresh = Vec::new();
+        for s in 0..self.n_sites {
+            let ds = self.controller(SiteId(s)).declarations();
+            if ds.len() > self.decl_seen[s] {
+                fresh.extend_from_slice(&ds[self.decl_seen[s]..]);
+                self.decl_seen[s] = ds.len();
+            }
+        }
+        fresh
+    }
+
+    /// Checks fresh declarations against the cached pre-event graph.
+    fn validate_declarations(&mut self, fresh: &[DdbDeadlock]) {
+        // Every declaring path is a snapshot candidate, so the cache is
+        // populated; fall back to the post-event graph defensively.
+        let built;
+        let (g, index) = match &self.graph_cache {
+            Some(pair) => pair,
+            None => {
+                built = self.agent_graph();
+                &built
+            }
+        };
+        let mut oracle = self.oracle.borrow_mut();
+        let members = oracle.dark_cycle_members(g);
+        // Remember who is deadlocked *right now*: an abort two ticks from
+        // now can dissolve this cycle while probes certifying it are
+        // still in flight, and the late declarations they complete must
+        // be recognised as echoes of this observation.
+        let now = self.sim.now();
+        for (a, v) in index {
+            if members.contains(v) {
+                self.recently_dark.insert(a.txn, now);
+            }
+        }
+        for d in fresh {
+            self.instant_checked += 1;
+            let agent = AgentId::new(d.txn, d.site);
+            let on_cycle = index.get(&agent).is_some_and(|v| members.contains(v));
+            if on_cycle {
+                continue;
+            }
+            let echo = self
+                .recently_dark
+                .get(&d.txn)
+                .is_some_and(|&t| d.at.ticks().saturating_sub(t.ticks()) <= STALE_ECHO_GRACE);
+            if echo {
+                self.instant_stale += 1;
+            } else if self.instant_violation.is_none() {
+                self.instant_violation = Some(*d);
+            }
+        }
+    }
+
+    /// Declarations the stepping harness excused as stale echoes of a
+    /// real, concurrently-resolved deadlock (see
+    /// [`DdbNet::verify_soundness`]).
+    pub fn stale_echoes(&self) -> usize {
+        self.instant_stale
+    }
+
     /// Transactions that are genuinely deadlocked in the current
     /// reconstructed graph (on some dark cycle), as `(txn, site)` agents.
     pub fn deadlocked_agents(&self) -> Vec<AgentId> {
@@ -269,15 +484,33 @@ impl DdbNet {
             .collect()
     }
 
-    /// Checks that every declaration points at a process that is on a dark
-    /// cycle in the reconstructed agent graph. Use with
-    /// [`crate::config::Resolution::None`] (aborts would dissolve the
-    /// evidence). Returns the number of declarations checked.
+    /// Checks that every declaration points at a process that was on a
+    /// dark cycle. Without resolution, deadlocks are permanent and every
+    /// declaration is checked against the final reconstructed graph.
+    /// Under [`Resolution::AbortSubject`], the triggered abort dissolves
+    /// the evidence, so this instead reports the verdicts the stepping
+    /// [`DdbNet::run_until`] gathered **at the instant of each
+    /// declaration** — with one latency-bounded allowance: a declaration
+    /// whose subject was observed on a dark cycle within the last
+    /// [`STALE_ECHO_GRACE`] ticks is a *stale echo* (the deadlock was
+    /// real; a concurrent abort raced the probes certifying it), counted
+    /// via [`DdbNet::stale_echoes`] rather than reported as a phantom. No
+    /// distributed detector can avoid echoes without a global snapshot.
+    /// Returns the number of declarations checked.
     ///
     /// # Errors
     ///
     /// [`DdbValidationError::FalseDeadlock`] on the first violation.
     pub fn verify_soundness(&self) -> Result<usize, DdbValidationError> {
+        if matches!(self.cfg.resolution, Resolution::AbortSubject { .. }) {
+            return match self.instant_violation {
+                Some(declaration) => Err(DdbValidationError::FalseDeadlock {
+                    declaration,
+                    phase: SoundnessPhase::AtInstant,
+                }),
+                None => Ok(self.instant_checked),
+            };
+        }
         let (g, index) = self.agent_graph();
         let mut oracle = self.oracle.borrow_mut();
         let members = oracle.dark_cycle_members(&g);
@@ -286,7 +519,10 @@ impl DdbNet {
             let agent = AgentId::new(d.txn, d.site);
             let on_cycle = index.get(&agent).is_some_and(|v| members.contains(v));
             if !on_cycle {
-                return Err(DdbValidationError::FalseDeadlock { declaration: *d });
+                return Err(DdbValidationError::FalseDeadlock {
+                    declaration: *d,
+                    phase: SoundnessPhase::Final,
+                });
             }
         }
         Ok(ds.len())
@@ -355,6 +591,186 @@ impl DdbNet {
             }
         }
         Ok(total)
+    }
+
+    /// Progress epochs of every non-terminal transaction, the observation
+    /// stream a [`crate::liveness::Watchdog`] consumes.
+    pub fn progress_epochs(&self) -> Vec<(TransactionId, u64)> {
+        let restartable = matches!(
+            self.cfg.resolution,
+            Resolution::AbortSubject {
+                restart_backoff: Some(_)
+            }
+        );
+        let mut out = Vec::new();
+        for s in 0..self.n_sites {
+            for snap in self.controller(SiteId(s)).script_snapshots() {
+                let terminal = match snap.status {
+                    TxnStatus::Committed => true,
+                    TxnStatus::Aborted => !restartable,
+                    TxnStatus::Running => false,
+                };
+                if !terminal {
+                    out.push((snap.txn, snap.epoch));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Classifies every non-terminal transaction (see
+    /// [`crate::liveness::TxnClass`]): progressing on its own, genuinely
+    /// waiting (its wait chain reaches a dark cycle, a progressing
+    /// transaction, or a message still in flight), deadlocked (on a dark
+    /// cycle itself), or wedged — blocked with nothing that can ever wake
+    /// it, the liveness bug class this PR exists to kill.
+    pub fn liveness_report(&self) -> LivenessReport {
+        let (g, index) = self.agent_graph();
+        let rev: BTreeMap<NodeId, AgentId> = index.iter().map(|(&a, &v)| (v, a)).collect();
+        let mut oracle = self.oracle.borrow_mut();
+        let dark = oracle.dark_cycle_members(&g);
+        let restartable = matches!(
+            self.cfg.resolution,
+            Resolution::AbortSubject {
+                restart_backoff: Some(_)
+            }
+        );
+        // First pass: who can move on their own?
+        let mut progressing: BTreeSet<TransactionId> = BTreeSet::new();
+        let mut entries: Vec<(TransactionId, SiteId, u64, bool)> = Vec::new();
+        for s in 0..self.n_sites {
+            let site = SiteId(s);
+            for snap in self.controller(site).script_snapshots() {
+                match snap.status {
+                    TxnStatus::Committed => {}
+                    TxnStatus::Aborted if !restartable => {}
+                    TxnStatus::Aborted => {
+                        progressing.insert(snap.txn);
+                        entries.push((snap.txn, site, snap.epoch, false));
+                    }
+                    TxnStatus::Running => {
+                        let blocked =
+                            !matches!(snap.waiting, WaitSnapshot::Ready | WaitSnapshot::Work);
+                        if !blocked {
+                            progressing.insert(snap.txn);
+                        }
+                        entries.push((snap.txn, site, snap.epoch, blocked));
+                    }
+                }
+            }
+        }
+        let in_flight = self.sim.in_flight_messages();
+        let mut classes = Vec::new();
+        for (txn, home, epoch, blocked) in entries {
+            let class = if !blocked {
+                TxnClass::Progressing
+            } else {
+                self.classify_blocked(txn, home, &g, &index, &rev, dark, &progressing, in_flight)
+            };
+            classes.push(TxnLiveness {
+                txn,
+                home,
+                class,
+                epoch,
+            });
+        }
+        classes.sort_by_key(|c| c.txn);
+        LivenessReport {
+            at: self.sim.now(),
+            classes,
+            in_flight_messages: in_flight,
+        }
+    }
+
+    /// BFS from a blocked transaction's home agent along wait edges.
+    #[allow(clippy::too_many_arguments)]
+    fn classify_blocked(
+        &self,
+        txn: TransactionId,
+        home: SiteId,
+        g: &WaitForGraph,
+        index: &BTreeMap<AgentId, NodeId>,
+        rev: &BTreeMap<NodeId, AgentId>,
+        dark: &BTreeSet<NodeId>,
+        progressing: &BTreeSet<TransactionId>,
+        in_flight: usize,
+    ) -> TxnClass {
+        let Some(&start) = index.get(&AgentId::new(txn, home)) else {
+            // Blocked but its edges are not in the graph yet: the request
+            // or grant is still in flight.
+            return if in_flight > 0 {
+                TxnClass::GenuinelyWaiting
+            } else {
+                TxnClass::Wedged
+            };
+        };
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        let mut reaches_progressing = false;
+        while let Some(v) = queue.pop_front() {
+            if dark.contains(&v) {
+                return if rev[&v].txn == txn {
+                    TxnClass::Deadlocked
+                } else {
+                    TxnClass::GenuinelyWaiting
+                };
+            }
+            let a = rev[&v];
+            if a.txn != txn && progressing.contains(&a.txn) {
+                reaches_progressing = true;
+            }
+            for e in g.out_edges(v) {
+                if seen.insert(e.to) {
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if reaches_progressing || in_flight > 0 {
+            TxnClass::GenuinelyWaiting
+        } else {
+            TxnClass::Wedged
+        }
+    }
+
+    /// Runs [`DdbNet::liveness_report`] and fails if any transaction is
+    /// wedged.
+    ///
+    /// # Errors
+    ///
+    /// [`DdbValidationError::Wedged`] listing the wedged transactions.
+    pub fn verify_liveness(&self) -> Result<LivenessReport, DdbValidationError> {
+        let report = self.liveness_report();
+        if report.is_live() {
+            Ok(report)
+        } else {
+            Err(DdbValidationError::Wedged {
+                wedged: report.wedged(),
+                at: report.at,
+            })
+        }
+    }
+}
+
+/// `(may_declare, changes_graph)` for the next scheduled event. The
+/// stepping harness snapshots the agent graph before events that may
+/// declare, and invalidates the snapshot after events that may change the
+/// graph. Conservative in both directions: probes and WFGD gossip never
+/// touch lock state, detector timers only declare (the abort they can
+/// trigger is caught separately via the declaration count), while
+/// anything that delivers protocol payloads or drives scripts dirties.
+fn classify_event(ev: &PendingEvent<'_, DdbMsg>) -> (bool, bool) {
+    match ev {
+        PendingEvent::Deliver(DdbMsg::Probe { .. }) => (true, false),
+        PendingEvent::Deliver(DdbMsg::Wfgd { .. }) => (false, false),
+        PendingEvent::Deliver(_) => (false, true),
+        PendingEvent::Timer { tag } => (timer_may_declare(*tag), timer_drives_script(*tag)),
+        // Reliable-layer arrival: could deliver anything, including probes.
+        PendingEvent::Wire => (true, true),
+        // Starts and crash/restart markers reset node state.
+        PendingEvent::Other => (false, true),
     }
 }
 
@@ -559,5 +975,48 @@ mod tests {
         assert!(!db.declarations().is_empty());
         db.verify_soundness().unwrap();
         db.verify_completeness().unwrap();
+    }
+
+    #[test]
+    fn false_deadlock_error_reports_site_txn_time_and_tag() {
+        let decl = DdbDeadlock {
+            site: SiteId(3),
+            txn: TransactionId(17),
+            tag: Some(crate::ids::DdbProbeTag {
+                initiator: SiteId(3),
+                n: 9,
+            }),
+            at: SimTime::from_ticks(668),
+        };
+        let err = DdbValidationError::FalseDeadlock {
+            declaration: decl,
+            phase: SoundnessPhase::AtInstant,
+        };
+        let msg = err.to_string();
+        for needle in ["S3", "T17", "t=668", "(S3, 9)", "at the instant"] {
+            assert!(msg.contains(needle), "{needle:?} missing from {msg:?}");
+        }
+        // A local-cycle declaration has no computation tag; the final-graph
+        // phase names its reference graph instead.
+        let err = DdbValidationError::FalseDeadlock {
+            declaration: DdbDeadlock { tag: None, ..decl },
+            phase: SoundnessPhase::Final,
+        };
+        let msg = err.to_string();
+        for needle in ["S3", "T17", "t=668", "local cycle", "final graph"] {
+            assert!(msg.contains(needle), "{needle:?} missing from {msg:?}");
+        }
+    }
+
+    #[test]
+    fn wedged_error_lists_each_transaction_and_its_home() {
+        let err = DdbValidationError::Wedged {
+            wedged: vec![(TransactionId(4), SiteId(1)), (TransactionId(9), SiteId(0))],
+            at: SimTime::from_ticks(512),
+        };
+        let msg = err.to_string();
+        for needle in ["t=512", "T4@S1", "T9@S0", "wedged"] {
+            assert!(msg.contains(needle), "{needle:?} missing from {msg:?}");
+        }
     }
 }

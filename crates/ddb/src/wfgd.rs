@@ -163,9 +163,19 @@ impl DdbWfgdState {
             touched.remove(&p);
         }
         // Emit backwards along incoming inter edges for every local
-        // process whose message content is new.
+        // process whose message content is new — but only for processes
+        // actually in the backward closure: the origin itself (its home
+        // waits on a declared/informed process even when its own `S` is
+        // still empty) or a process whose `S` set is non-empty. Emitting
+        // for every pending remote request would "inform" homes of
+        // transactions that merely pass through this site and are not
+        // behind the deadlock at all.
         let mut out = Vec::new();
         for (&t, &home) in &topo.incoming_inter {
+            let informed = t == origin || self.s.get(&t).is_some_and(|s| !s.is_empty());
+            if !informed {
+                continue;
+            }
             let mut payload = self.s.get(&t).cloned().unwrap_or_default();
             // The inter edge itself: (T, home) → (T, me).
             payload.insert((AgentId::new(t, home), AgentId::new(t, me)));
@@ -304,6 +314,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn uninvolved_pending_requests_are_not_informed() {
+        // At S0: subject T1 has a waiter T2, and an *unrelated* T9 merely
+        // has a pending remote request here (incoming inter edge from its
+        // home S2). T9 is not behind the deadlock — its home must not
+        // receive a phantom "deadlocked portion" message.
+        let topo = LocalTopology {
+            intra: [(t(2), t(1))].into_iter().collect(),
+            incoming_inter: [(t(1), s(1)), (t(9), s(2))].into_iter().collect(),
+        };
+        let mut st = DdbWfgdState::new();
+        let out = st.start(s(0), t(1), &topo);
+        assert_eq!(out.len(), 1, "only the subject's home is informed");
+        assert_eq!(out[0].txn, t(1));
+        assert_eq!(out[0].dest, s(1));
     }
 
     #[test]

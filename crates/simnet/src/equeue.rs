@@ -198,6 +198,26 @@ impl<T> EventQueue<T> {
         self.heap.first().map(|&s| self.slots[s as usize].key)
     }
 
+    /// The earliest pending entry, without removing it.
+    pub fn peek(&self) -> Option<(EventKey, &T)> {
+        self.heap.first().map(|&s| {
+            let slot = &self.slots[s as usize];
+            (slot.key, slot.value.as_ref().expect("occupied slot"))
+        })
+    }
+
+    /// Iterates over the pending entries' values in arbitrary (heap)
+    /// order. Read-only introspection for schedulers that classify what
+    /// is still outstanding; the queue is unchanged.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.heap.iter().map(move |&s| {
+            self.slots[s as usize]
+                .value
+                .as_ref()
+                .expect("occupied slot")
+        })
+    }
+
     /// Removes and returns the earliest entry as `(id, key, value)`.
     pub fn pop(&mut self) -> Option<(EntryId, EventKey, T)> {
         let slot = *self.heap.first()? as usize;

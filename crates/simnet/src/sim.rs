@@ -169,6 +169,28 @@ enum EventKind<M> {
     },
 }
 
+/// Coarse classification of the next scheduled event, returned by
+/// [`Simulation::peek_event`]. Deliberately lossy: it exposes exactly what
+/// an external single-stepping harness can act on (the payload of a raw
+/// delivery, a timer's tag) and collapses the rest.
+#[derive(Debug)]
+pub enum PendingEvent<'a, M> {
+    /// A raw message delivery; the payload is visible ahead of time.
+    Deliver(&'a M),
+    /// A pending timer with its user tag.
+    Timer {
+        /// The tag passed to [`Context::set_timer`].
+        tag: u64,
+    },
+    /// A reliable-layer data packet arrival. Its payload (possibly several
+    /// messages, possibly none) is only determined at delivery time, so
+    /// harnesses must treat it as "could deliver anything".
+    Wire,
+    /// Bookkeeping that delivers no payload: node starts, crash/restart
+    /// markers, acks, retransmission checks.
+    Other,
+}
+
 /// Everything a process may touch while handling an event.
 ///
 /// Obtained only as an argument to [`Process`] callbacks or
@@ -919,6 +941,56 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
     /// the scheduler's high-water mark, reported by the bench harness.
     pub fn peak_queue_depth(&self) -> usize {
         self.core.queue.peak_depth()
+    }
+
+    /// Number of message-bearing events currently scheduled: raw
+    /// deliveries, reliable-layer data packets, and pending retransmission
+    /// checks (which can regenerate lost packets). Timers, acks and
+    /// fault-plan markers are excluded. Zero means no protocol message can
+    /// still arrive — state can only change through timers from here on,
+    /// which is the quiescence signal liveness audits build on.
+    pub fn in_flight_messages(&self) -> usize {
+        self.core
+            .queue
+            .values()
+            .filter(|k| {
+                matches!(
+                    k,
+                    EventKind::Deliver { .. }
+                        | EventKind::Wire { .. }
+                        | EventKind::Retransmit { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Virtual time of the earliest scheduled event, if any. Drivers that
+    /// single-step with [`Simulation::step`] use this to honour a deadline
+    /// the way [`Simulation::run_until`] does.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        self.core.queue.peek_key().map(|(at, _)| at)
+    }
+
+    /// Classifies the earliest scheduled event without popping it, for
+    /// harnesses that single-step and need to know whether the upcoming
+    /// event can matter to them (e.g. snapshot state only before events
+    /// that can produce a declaration).
+    pub fn peek_event(&mut self) -> Option<(SimTime, PendingEvent<'_, M>)> {
+        self.ensure_started();
+        self.core.queue.peek().map(|((at, _), kind)| {
+            let p = match kind {
+                EventKind::Deliver { msg, .. } => PendingEvent::Deliver(msg),
+                EventKind::Timer { tag, .. } => PendingEvent::Timer { tag: *tag },
+                EventKind::Wire { .. } => PendingEvent::Wire,
+                EventKind::Start(_)
+                | EventKind::Crash(_)
+                | EventKind::Restart(_)
+                | EventKind::WireAck { .. }
+                | EventKind::Retransmit { .. } => PendingEvent::Other,
+            };
+            (at, p)
+        })
     }
 
     /// Number of scheduler slab slots ever allocated. Bounded by the peak

@@ -1,0 +1,5 @@
+// Fixture: D8's escape hatch — the grant-sweep entry point itself.
+pub fn release_and_sweep(locks: &mut LockTable, txn: u32) {
+    let granted = locks.release(txn, 7); // cmh-lint: allow(D8) — fixture: the sweep entry point itself
+    sweep_granted(granted);
+}

@@ -1,0 +1,6 @@
+// Fixture: D8 fires on direct lock-table releases outside the sweep.
+pub fn abort_everywhere(locks: &mut LockTable, txn: u32) {
+    let granted = locks.release(txn, 7);
+    let freed = locks.release_all(txn);
+    drop((granted, freed));
+}

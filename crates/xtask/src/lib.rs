@@ -19,6 +19,7 @@
 //! | D5 | `todo!` / `unimplemented!` / `dbg!` in non-test code |
 //! | D6 | crate roots missing the `forbid(unsafe_code)` + `warn(missing_docs)` header |
 //! | D7 | `summarize(` / `format!(` in simnet delivery code not gated on `Trace::is_enabled` |
+//! | D8 | direct `locks.release(`/`locks.release_all(` in the DDB controller outside the grant-sweep entry points |
 //!
 //! Intentional exceptions carry an allow marker comment naming the rule
 //! and a reason (grammar in [`scan`]); the pass lists every marker in its
@@ -58,6 +59,14 @@ pub const D4_EXEMPT: &str = "crates/bench/src/sweep.rs";
 /// it — an ungated per-message summary — at lint time).
 pub const D7_SCOPE: &str = "crates/simnet/src";
 
+/// The file rule D8 applies to: the DDB controller. Releasing a lock
+/// hands the resource to queued waiters, and those grants must be swept
+/// (granted waiters re-examined, `Acquired` notifications sent, scripts
+/// resumed) or the waiters stay blocked forever — the wedge class fixed
+/// in PR 6. D8 rejects any `locks.release(`/`locks.release_all(` call
+/// outside the two annotated sweep entry points.
+pub const D8_SCOPE: &str = "crates/ddb/src/controller.rs";
+
 /// Lints the whole workspace rooted at `root` (skipping `vendor/` and
 /// `target/` by construction: only member crates' `src`, `tests`,
 /// `benches` and `examples` directories are scanned).
@@ -76,6 +85,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                 }
                 if rel.starts_with(D7_SCOPE) {
                     line_rules.push(Rule::D7);
+                }
+                if rel == Path::new(D8_SCOPE) {
+                    line_rules.push(Rule::D8);
                 }
                 let policy = FilePolicy {
                     line_rules,
@@ -98,7 +110,15 @@ pub fn lint_fixtures(dir: &Path) -> io::Result<LintReport> {
     for path in rust_files(dir) {
         let rel = path.strip_prefix(dir).unwrap_or(&path).to_path_buf();
         let policy = FilePolicy {
-            line_rules: vec![Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D7],
+            line_rules: vec![
+                Rule::D1,
+                Rule::D2,
+                Rule::D3,
+                Rule::D4,
+                Rule::D5,
+                Rule::D7,
+                Rule::D8,
+            ],
             crate_root: path.file_name().is_some_and(|n| n == "lib.rs"),
             test_file: false,
         };

@@ -1,12 +1,16 @@
-//! The cmh-lint rule set (D1–D7) and its matchers.
+//! The cmh-lint rule set (D1–D8) and its matchers.
 //!
 //! Rules D1–D6 protect one property: **a seeded run is a pure function
 //! of its inputs**. The golden-digest tests detect a determinism break
 //! after the fact; these rules reject the constructs that cause them
 //! before the code runs. D7 protects a second pinned property — the
 //! simulator's steady-state message path is allocation-free — enforced
-//! after the fact by `crates/simnet/tests/alloc_regression.rs`. See
-//! DESIGN.md §10 for the written rationale of each rule.
+//! after the fact by `crates/simnet/tests/alloc_regression.rs`. D8
+//! protects a protocol invariant in the DDB controller: every lock
+//! release must route through the grant-sweep entry points, because a
+//! release that bypasses the sweep strands the waiters it just granted
+//! (the PR-6 wedge class). See DESIGN.md §10 for the written rationale
+//! of each rule.
 
 use std::fmt;
 
@@ -35,6 +39,11 @@ pub enum Rule {
     /// `Trace::is_enabled` on the same line, or carry an allow marker,
     /// so the steady-state message path stays allocation-free.
     D7,
+    /// No direct `locks.release(` / `locks.release_all(` in the DDB
+    /// controller outside the grant-sweep entry points: a release whose
+    /// newly granted waiters are not swept strands them forever (the
+    /// wedge class fixed in PR 6).
+    D8,
     /// Pseudo-rule: a malformed `cmh-lint` marker comment (unknown rule
     /// id, missing reason). Cannot itself be allowed.
     BadMarker,
@@ -42,7 +51,7 @@ pub enum Rule {
 
 impl Rule {
     /// All real (allowable) rules.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -50,6 +59,7 @@ impl Rule {
         Rule::D5,
         Rule::D6,
         Rule::D7,
+        Rule::D8,
     ];
 
     /// Parses a rule id as written in an allow marker.
@@ -62,6 +72,7 @@ impl Rule {
             "D5" => Some(Rule::D5),
             "D6" => Some(Rule::D6),
             "D7" => Some(Rule::D7),
+            "D8" => Some(Rule::D8),
             _ => None,
         }
     }
@@ -76,6 +87,7 @@ impl Rule {
             Rule::D5 => "D5",
             Rule::D6 => "D6",
             Rule::D7 => "D7",
+            Rule::D8 => "D8",
             Rule::BadMarker => "marker",
         }
     }
@@ -90,6 +102,7 @@ impl Rule {
             Rule::D5 => "todo!/unimplemented!/dbg! in non-test code",
             Rule::D6 => "crate root missing #![forbid(unsafe_code)] / #![warn(missing_docs)]",
             Rule::D7 => "per-message summary not gated on Trace::is_enabled (allocates on the hot message path)",
+            Rule::D8 => "direct lock release outside the grant-sweep entry points (granted waiters are never swept)",
             Rule::BadMarker => "malformed cmh-lint marker",
         }
     }
@@ -127,6 +140,9 @@ fn patterns(rule: Rule) -> &'static [&'static str] {
         // identifiers like `summarized` from matching: only call syntax
         // allocates.
         Rule::D7 => &["summarize(", "format!("],
+        // Call syntax only, like D7: `fn release(` declarations on the
+        // lock table itself don't match.
+        Rule::D8 => &["locks.release(", "locks.release_all("],
         Rule::D6 | Rule::BadMarker => &[],
     }
 }
@@ -229,6 +245,29 @@ mod tests {
             "let s = trace.is_enabled().then(|| summarize(&msg));",
             "summarize("
         ));
+    }
+
+    #[test]
+    fn d8_matches_qualified_release_calls_only() {
+        assert!(token_match(
+            "let g = self.locks.release(txn, r);",
+            "locks.release("
+        ));
+        assert!(token_match(
+            "self.locks.release_all(txn);",
+            "locks.release_all("
+        ));
+        // `release_all` must not satisfy the plain-`release` pattern.
+        assert!(!token_match(
+            "self.locks.release_all(txn);",
+            "locks.release("
+        ));
+        // Declarations and other receivers don't match.
+        assert!(!token_match(
+            "pub fn release(&mut self, t: TransactionId)",
+            "locks.release("
+        ));
+        assert!(!token_match("padlocks.release(k)", "locks.release("));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```text
 //! <marker>    := "cmh-lint:" <scope> "(" <rules> ")" <sep> <reason>
 //! <scope>     := "allow" | "allow-file"
-//! <rules>     := rule id ("D1".."D7"), comma-separated
+//! <rules>     := rule id ("D1".."D8"), comma-separated
 //! <sep>       := "—" | "--" | "-"
 //! <reason>    := non-empty free text
 //! ```
@@ -237,6 +237,13 @@ pub fn scan_file(file: &Path, source: &str, policy: &FilePolicy, report: &mut Li
                 {
                     continue;
                 }
+            }
+            // D8 polices the controller's protocol path only; unit tests
+            // may drive the lock table directly.
+            if rule == Rule::D8
+                && (policy.test_file || scan.test_lines.get(i).copied() == Some(true))
+            {
+                continue;
             }
             // debug_assert!/assert! messages live in strings (blanked), so
             // no extra assertion carve-out is needed.

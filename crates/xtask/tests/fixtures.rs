@@ -1,4 +1,4 @@
-//! The fixture corpus pins the exact behaviour of every rule D1–D7:
+//! The fixture corpus pins the exact behaviour of every rule D1–D8:
 //! one known-bad and one known-allowed snippet per rule, plus malformed
 //! markers. The expected finding set is asserted exactly — a new false
 //! positive or a silently dead rule both fail here.
@@ -38,6 +38,8 @@ fn fixture_corpus_produces_exactly_the_expected_findings() {
         ("d6_violation/lib.rs", "D6", 1),
         ("d7_violation.rs", "D7", 3),
         ("d7_violation.rs", "D7", 4),
+        ("d8_violation.rs", "D8", 3),
+        ("d8_violation.rs", "D8", 4),
     ]
     .into_iter()
     .map(|(f, r, l)| (f.to_owned(), r.to_owned(), l))
@@ -45,7 +47,7 @@ fn fixture_corpus_produces_exactly_the_expected_findings() {
     // D6 reports one finding per missing attribute, both on line 1; the
     // set above collapses them, so also check the raw count.
     assert_eq!(got, expected, "finding set drifted");
-    assert_eq!(report.findings.len(), 17, "finding count drifted");
+    assert_eq!(report.findings.len(), 19, "finding count drifted");
     assert!(!report.clean());
 }
 
@@ -73,6 +75,7 @@ fn fixture_allow_markers_are_all_reported_and_used() {
         ("d4_allowed.rs".to_owned(), 2, vec![Rule::D4], true, true),
         ("d5_allowed.rs".to_owned(), 3, vec![Rule::D5], false, true),
         ("d7_allowed.rs".to_owned(), 6, vec![Rule::D7], false, true),
+        ("d8_allowed.rs".to_owned(), 3, vec![Rule::D8], false, true),
     ];
     assert_eq!(got, expected, "exception audit trail drifted");
     // Every allowed-fixture file must be finding-free.

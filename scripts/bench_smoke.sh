@@ -24,6 +24,10 @@ for b in exp_probe_bounds exp_faults; do
   test -f "$bench/$b.json" || { echo "missing bench record for $b" >&2; exit 1; }
   echo
 done
+echo "== liveness audit (batched stress workload) =="
+cargo run --quiet --release --example liveness_audit
+test -f "$out/liveness.json" || { echo "missing liveness.json" >&2; exit 1; }
+echo
 {
   echo '['
   first=1

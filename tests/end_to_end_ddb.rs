@@ -4,6 +4,9 @@
 
 use cmh_ddb::controller::counters;
 use cmh_ddb::{DdbConfig, DdbInitiation, DdbNet, Resolution, SiteId, TxnStatus};
+use simnet::faults::FaultPlan;
+use simnet::reliable::ReliableConfig;
+use simnet::sim::{NodeId, SimBuilder};
 use simnet::time::SimTime;
 use workloads::{dining_philosophers, random_transactions, DdbWorkloadConfig};
 
@@ -231,4 +234,214 @@ fn wfgd_reports_only_real_edges_on_random_workloads() {
         db.verify_wfgd_edges_exist()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
+}
+
+#[test]
+fn lock_all_same_resource_id_at_two_sites_is_not_misattributed() {
+    // Minimal reproducer for the ISSUE 6 batching wedge. TA's `lock_all`
+    // waits for the *same* resource id at two different sites; S2 grants
+    // immediately while S1 queues TA behind TB. Matching the grant by
+    // resource id alone booked S2's grant against the S1 entry, leaving
+    // the home waiting forever on a grant S2 had already sent — and
+    // hiding TA's true wait at S1 from the detector, so the ensuing
+    // TA/TB cycle was never declared. Grants must be attributed to the
+    // site that sent them.
+    use cmh_ddb::lock::LockMode;
+    use cmh_ddb::txn::{LockReq, Transaction};
+    use cmh_ddb::{ResourceId, TransactionId};
+
+    let mut db = DdbNet::new(3, DdbConfig::detect_and_resolve(60, 50), 7);
+    let r = ResourceId(7);
+    // TB: holds r@S1 first, then closes the cycle by requesting r@S2.
+    db.submit(
+        Transaction::new(TransactionId(1), SiteId(2))
+            .lock(SiteId(1), r, LockMode::Exclusive)
+            .work(80)
+            .lock(SiteId(2), r, LockMode::Exclusive)
+            .work(10),
+    );
+    db.run_until(SimTime::from_ticks(30));
+    // TA: one AND-request for r at both sites (Waiting::Multi at home).
+    db.submit(
+        Transaction::new(TransactionId(2), SiteId(0))
+            .lock_all([
+                LockReq {
+                    site: SiteId(1),
+                    resource: r,
+                    mode: LockMode::Exclusive,
+                },
+                LockReq {
+                    site: SiteId(2),
+                    resource: r,
+                    mode: LockMode::Exclusive,
+                },
+            ])
+            .work(10),
+    );
+    db.run_until(SimTime::from_ticks(30_000));
+    for o in db.outcomes() {
+        assert_eq!(o.status, TxnStatus::Committed, "{} wedged", o.txn);
+    }
+    db.verify_soundness().unwrap();
+    db.verify_completeness().unwrap();
+    let report = db.verify_liveness().unwrap();
+    assert!(report.classes.is_empty(), "all transactions terminal");
+    // The repair sweep never had to fire: the fix is in the protocol,
+    // not in after-the-fact cleanup.
+    assert_eq!(db.metrics().get("ddb.wedge.repaired"), 0);
+}
+
+/// Builds the canonical two-site cross deadlock: T1 (home S0) holds r0@S0
+/// and requests r1@S1; T2 (home S1) holds r1@S1 and requests r0@S0.
+fn cross_site_deadlock(db: &mut DdbNet) {
+    use cmh_ddb::lock::LockMode;
+    use cmh_ddb::txn::Transaction;
+    use cmh_ddb::{ResourceId, TransactionId};
+    db.submit(
+        Transaction::new(TransactionId(1), SiteId(0))
+            .lock(SiteId(0), ResourceId(0), LockMode::Exclusive)
+            .work(20)
+            .lock(SiteId(1), ResourceId(1), LockMode::Exclusive)
+            .work(10),
+    );
+    db.submit(
+        Transaction::new(TransactionId(2), SiteId(1))
+            .lock(SiteId(1), ResourceId(1), LockMode::Exclusive)
+            .work(20)
+            .lock(SiteId(0), ResourceId(0), LockMode::Exclusive)
+            .work(10),
+    );
+}
+
+#[test]
+fn reprobe_rearms_while_blocked_without_phantom_declarations() {
+    // A long wait that is NOT a deadlock: T2 queues behind T1 while T1
+    // works for 3000 ticks. Under OnBlockDelayed + reprobe the initiation
+    // check re-arms every period for as long as T2 stays blocked — and
+    // every one of those computations must come back empty.
+    use cmh_ddb::lock::LockMode;
+    use cmh_ddb::txn::Transaction;
+    use cmh_ddb::{ResourceId, TransactionId};
+
+    let run = |reprobe: bool| {
+        let mut cfg = DdbConfig {
+            initiation: DdbInitiation::OnBlockDelayed { t: 100 },
+            resolution: Resolution::None,
+            ..DdbConfig::default()
+        };
+        if reprobe {
+            cfg = cfg.with_reprobe();
+        }
+        let mut db = DdbNet::new(2, cfg, 3);
+        db.submit(
+            Transaction::new(TransactionId(1), SiteId(0))
+                .lock(SiteId(0), ResourceId(0), LockMode::Exclusive)
+                .work(3000),
+        );
+        db.run_until(SimTime::from_ticks(10));
+        db.submit(
+            Transaction::new(TransactionId(2), SiteId(1))
+                .lock(SiteId(0), ResourceId(0), LockMode::Exclusive)
+                .work(10),
+        );
+        db.run_until(SimTime::from_ticks(20_000));
+        for o in db.outcomes() {
+            assert_eq!(o.status, TxnStatus::Committed, "{} wedged", o.txn);
+        }
+        assert!(db.declarations().is_empty(), "phantom on a plain wait");
+        db.verify_soundness().unwrap();
+        db.verify_completeness().unwrap();
+        db.metrics().get(counters::REPROBE_ARMED)
+    };
+    assert_eq!(run(false), 0, "one-shot mode must not re-arm");
+    let armed = run(true);
+    assert!(
+        armed >= 10,
+        "a ~3000-tick wait at t=100 should re-arm many times, got {armed}"
+    );
+}
+
+#[test]
+fn reprobe_recovers_detection_after_a_partition_eats_the_probes() {
+    // §4's timeout T, demonstrated end to end. The cross-site deadlock
+    // forms by ~t=40; a partition between the two sites over [60, 5000)
+    // swallows the one-shot initiation check's probes (no reliable layer,
+    // so the drop is final). Without reprobe the computation is simply
+    // dead and the deadlock goes undetected forever. With reprobe the
+    // check re-arms every period, and the first computation initiated
+    // after the partition heals completes and declares.
+    let run = |reprobe: bool| {
+        let mut cfg = DdbConfig {
+            initiation: DdbInitiation::OnBlockDelayed { t: 100 },
+            resolution: Resolution::None,
+            ..DdbConfig::default()
+        };
+        if reprobe {
+            cfg = cfg.with_reprobe();
+        }
+        let builder = SimBuilder::new().seed(9).faults(FaultPlan::new().partition(
+            vec![NodeId(0)],
+            SimTime::from_ticks(60),
+            SimTime::from_ticks(5_000),
+        ));
+        let mut db = DdbNet::with_builder(2, cfg, builder);
+        cross_site_deadlock(&mut db);
+        db.run_until(SimTime::from_ticks(30_000));
+        db.verify_soundness().unwrap();
+        db
+    };
+    let oneshot = run(false);
+    assert!(
+        oneshot.declarations().is_empty(),
+        "one-shot check's probes died in the partition; nothing retries"
+    );
+    assert!(oneshot.verify_completeness().is_err(), "deadlock missed");
+
+    let retrying = run(true);
+    assert!(
+        !retrying.declarations().is_empty(),
+        "re-initiation after the partition heals must find the cycle"
+    );
+    retrying.verify_completeness().unwrap();
+    assert!(retrying.metrics().get(counters::REPROBE_INITIATED) > 0);
+}
+
+#[test]
+fn batched_workload_drains_over_a_faulty_wire() {
+    // The PR-6 wedge workload shape (batched AND-requests), now crossed
+    // with message loss, duplication, and reordering over the reliable
+    // transport: the system must still fully drain, and the liveness
+    // classifier must find nothing wedged along the way or at the end.
+    let wl = DdbWorkloadConfig {
+        sites: 4,
+        transactions: 20,
+        resources_per_site: 3,
+        remote_prob: 0.6,
+        write_prob: 0.9,
+        batch_prob: 0.4,
+        mean_arrival_gap: 25,
+        seed: 21,
+        ..DdbWorkloadConfig::default()
+    };
+    let builder = SimBuilder::new()
+        .seed(21)
+        .faults(
+            FaultPlan::new()
+                .loss(0.10)
+                .duplicate(0.05)
+                .reorder(0.10, 30),
+        )
+        .reliable(ReliableConfig::default());
+    let mut db = DdbNet::with_builder(4, DdbConfig::detect_and_resolve(100, 80), builder);
+    submit_all(&mut db, random_transactions(&wl));
+    db.run_until(SimTime::from_ticks(2_000_000));
+    let outcomes = db.outcomes();
+    let committed = outcomes
+        .iter()
+        .filter(|o| o.status == TxnStatus::Committed)
+        .count();
+    assert_eq!(committed, outcomes.len(), "chaos run failed to drain");
+    db.verify_soundness().unwrap();
+    let report = db.verify_liveness().unwrap();
+    assert!(report.classes.is_empty(), "all transactions terminal");
 }

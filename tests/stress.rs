@@ -101,6 +101,16 @@ fn wide_ddb_mixed_workload_with_resolution_terminates() {
     );
     let (g, _) = db.agent_graph();
     assert!(g.is_empty(), "no residual waits");
+    // Every declaration was checked against the agent graph as it stood
+    // at that instant (stale echoes of concurrently-resolved deadlocks
+    // are tolerated — and counted — but phantoms fail here).
+    assert!(
+        db.verify_soundness().unwrap() > 0,
+        "no declarations checked"
+    );
+    // A drained workload must classify as live: nothing wedged.
+    let report = db.verify_liveness().unwrap();
+    assert_eq!(report.classes.len(), 0, "all transactions terminal");
 }
 
 #[test]
