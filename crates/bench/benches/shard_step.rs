@@ -1,0 +1,117 @@
+//! Sharded-engine micro-benchmarks: event throughput and per-window
+//! barrier cost across shard counts S ∈ {1, 2, 4, 8}.
+//!
+//! Two complementary shapes:
+//!
+//! - `shard/triples`: the dense E13 workload (3-cycles through the
+//!   basic-model detector) at a fixed N — measures end-to-end events/sec
+//!   as the shard count grows, i.e. what the staging/merge machinery
+//!   costs when windows carry real backlog.
+//! - `shard/barrier`: a single token walking a ring at fixed latency 1 —
+//!   every window holds exactly one event, so the per-iteration time is
+//!   dominated by window advance + barrier merge. The slope across S is
+//!   the barrier's marginal cost per shard.
+//!
+//! Both run the same binary logic at every S and the engine's contract
+//! pins the results byte-identical, so the deltas are pure overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cmh_core::{BasicConfig, BasicProcess};
+use simnet::latency::LatencyModel;
+use simnet::sim::{Context, NodeId, Process, SimBuilder, Simulation};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Dense detector workload (the E13 triple mix) on `n` vertices and `s`
+/// shards. Returns total simulated events.
+fn run_triples(n: usize, s: usize) -> u64 {
+    let mut sim: Simulation<_, BasicProcess> = SimBuilder::new()
+        .seed(4242)
+        .shards(s)
+        .build_mt::<cmh_core::process::BasicMsg, BasicProcess>(
+    );
+    for _ in 0..n {
+        sim.add_node(BasicProcess::new(BasicConfig::on_block(10)));
+    }
+    for t in 0..n / 3 {
+        let base = 3 * t;
+        let (a, b, c) = (NodeId(base), NodeId(base + 1), NodeId(base + 2));
+        sim.with_node(a, |p, ctx| p.request(ctx, b).expect("fresh edge"));
+        sim.with_node(b, |p, ctx| p.request(ctx, c).expect("fresh edge"));
+        if t % 4 != 3 {
+            sim.with_node(c, |p, ctx| p.request(ctx, a).expect("fresh edge"));
+        }
+    }
+    sim.run_to_quiescence(u64::MAX).events
+}
+
+#[derive(Debug, Clone)]
+struct Token(u64);
+
+struct RingNode {
+    next: NodeId,
+    hops_left: u64,
+}
+
+impl Process<Token> for RingNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+        if ctx.id() == NodeId(0) {
+            ctx.send(self.next, Token(0));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Token>, _from: NodeId, tok: Token) {
+        if self.hops_left > 0 {
+            self.hops_left -= 1;
+            ctx.send(self.next, Token(tok.0 + 1));
+        }
+    }
+}
+
+/// One token circling a ring at fixed latency 1: `hops` windows, one
+/// event each — a pure measure of window-advance + barrier cost.
+fn run_ring(nodes: usize, hops: u64, s: usize) -> u64 {
+    let mut sim = SimBuilder::new()
+        .seed(3)
+        .latency(LatencyModel::Fixed { ticks: 1 })
+        .shards(s)
+        .build_mt::<Token, RingNode>();
+    for i in 0..nodes {
+        sim.add_node(RingNode {
+            next: NodeId((i + 1) % nodes),
+            hops_left: hops,
+        });
+    }
+    sim.run_to_quiescence(u64::MAX).events
+}
+
+fn bench_triples(c: &mut Criterion) {
+    const N: usize = 1_536;
+    // Events per run are identical at every S (pinned by the engine's
+    // determinism contract), so measure once for the throughput scale.
+    let events = run_triples(N, 1);
+    let mut group = c.benchmark_group("shard/triples");
+    for s in SHARD_COUNTS {
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| black_box(run_triples(N, s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    const HOPS: u64 = 5_000;
+    let mut group = c.benchmark_group("shard/barrier");
+    for s in SHARD_COUNTS {
+        group.throughput(Throughput::Elements(HOPS));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| black_box(run_ring(64, HOPS, s)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triples, bench_barrier);
+criterion_main!(benches);

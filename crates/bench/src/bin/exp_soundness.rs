@@ -11,6 +11,23 @@
 //!
 //! The paper proves the probe computation reports **zero** phantoms; the
 //! baselines trade that away.
+//!
+//! ## The `CMH_SHARDS` axis
+//!
+//! With `CMH_SHARDS=S` (S > 1) the probe-computation runs use the sharded
+//! conservative-window engine (bit-identical results — the golden tests
+//! pin this), and every family's independent seeds fan out over a worker
+//! pool, so the recorded per-phase times show the multi-core headroom.
+//! The baselines stay on the sequential engine regardless: the
+//! centralised poller draws `ctx.rng()` mid-handler, which the sharded
+//! engine deliberately serves from per-node substreams (DESIGN §12), so
+//! switching engines would change their sampled statistics and break
+//! comparability with the recorded tables.
+//!
+//! When seeds are fanned, per-run phase timings overlap on the clock, so
+//! each family's *measured wall-clock* is attributed to the `sim`/`verify`
+//! columns in proportion to the per-run sums — the columns still total
+//! the real elapsed time instead of double-counting overlapped work.
 
 // cmh-lint: allow-file(D2) — bench timing: wall-clock run duration in the emitted record only.
 use std::time::Instant;
@@ -20,6 +37,7 @@ use cmh_bench::record::BenchRecord;
 use cmh_bench::{time_ms, time_ms2, Table};
 use cmh_core::process::counters as basic_counters;
 use cmh_core::{BasicConfig, BasicNet};
+use simnet::batch::par_map;
 use simnet::latency::LatencyModel;
 use simnet::metrics::builtin;
 use simnet::sim::SimBuilder;
@@ -57,10 +75,49 @@ fn schedule_for(seed: u64) -> workloads::Schedule {
     })
 }
 
+/// Runs `f` over all seeds — fanned over OS threads when `fan` — and
+/// attributes the family's measured wall-clock to the record's phase
+/// columns in proportion to the per-run `(sim, verify, oracle)` sums
+/// returned alongside each result.
+fn seeds<R: Send>(
+    fan: bool,
+    rec: &mut BenchRecord,
+    f: impl Fn(u64) -> (R, f64, f64, f64) + Sync,
+) -> Vec<R> {
+    let started = Instant::now();
+    let outs: Vec<(R, f64, f64, f64)> = if fan {
+        par_map((0..RUNS).collect(), f)
+    } else {
+        (0..RUNS).map(f).collect()
+    };
+    let wall = started.elapsed().as_secs_f64() * 1_000.0;
+    let (mut sim, mut verify, mut oracle) = (0.0f64, 0.0f64, 0.0f64);
+    for (_, s, v, o) in &outs {
+        sim += s;
+        verify += v;
+        oracle += o;
+    }
+    // `oracle` overlaps `verify` by design (time_ms2), so the exclusive
+    // phases are sim + verify; scale each share to the measured wall.
+    let total = (sim + verify).max(f64::MIN_POSITIVE);
+    rec.sim_ms += wall * (sim / total);
+    rec.verify_ms += wall * (verify / total);
+    rec.oracle_ms += wall * (oracle / total);
+    outs.into_iter().map(|(r, _, _, _)| r).collect()
+}
+
 fn main() {
     let started = Instant::now();
     let mut rec = BenchRecord::new("exp_soundness");
+    rec.vertices = 20;
+    let fan = rec.shards > 1;
     println!("# E4: soundness/completeness Monte-Carlo ({RUNS} seeded runs per detector)\n");
+    if fan {
+        println!(
+            "(CMH_SHARDS={}: sharded engine for the probe computation, seeds fanned)\n",
+            rec.shards
+        );
+    }
     let mut table = Table::new([
         "detector",
         "reports",
@@ -71,13 +128,15 @@ fn main() {
     ]);
 
     // --- Probe computation (CMH) ---
-    let mut cmh_reports = 0usize;
-    let mut cmh_missed = 0usize;
-    for seed in 0..RUNS {
+    let cmh = seeds(fan, &mut rec, |seed| {
+        let (mut sim_ms, mut verify_ms, mut oracle_ms) = (0.0, 0.0, 0.0);
         let sched = schedule_for(seed);
-        let mut net =
-            BasicNet::with_builder(sched.n, BasicConfig::on_block(SERVICE_DELAY), builder(seed));
-        time_ms(&mut rec.sim_ms, || {
+        let mut net = BasicNet::with_builder(
+            sched.n,
+            BasicConfig::on_block(SERVICE_DELAY),
+            builder(seed).shards_from_env(),
+        );
+        time_ms(&mut sim_ms, || {
             drive_schedule(
                 &mut net,
                 &sched,
@@ -90,21 +149,26 @@ fn main() {
         });
         // QRP2: every declaration checked against ground truth (panics on
         // violation — soundness is an invariant here, not a statistic).
-        cmh_reports += time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
+        let reports = time_ms2(&mut verify_ms, &mut oracle_ms, || {
             net.verify_soundness().expect("QRP2 violated")
         });
-        if time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
-            net.verify_completeness()
-        })
-        .is_err()
-        {
-            cmh_missed += 1;
-        }
-        rec.add_run(
+        let missed =
+            time_ms2(&mut verify_ms, &mut oracle_ms, || net.verify_completeness()).is_err();
+        let out = (
+            reports,
+            missed,
             net.metrics().get(builtin::EVENTS),
             net.metrics().get(basic_counters::PROBE_SENT),
             net.peak_queue_depth(),
         );
+        (out, sim_ms, verify_ms, oracle_ms)
+    });
+    let mut cmh_reports = 0usize;
+    let mut cmh_missed = 0usize;
+    for (reports, missed, events, probes, depth) in cmh {
+        cmh_reports += reports;
+        cmh_missed += missed as usize;
+        rec.add_run(events, probes, depth);
     }
     table.row([
         "probe computation (CMH)".to_string(),
@@ -117,12 +181,11 @@ fn main() {
 
     // --- Timeout detector ---
     for timeout in [100u64, 400] {
-        let mut genuine = 0usize;
-        let mut phantom = 0usize;
-        for seed in 0..RUNS {
+        let outs = seeds(fan, &mut rec, |seed| {
+            let (mut sim_ms, mut verify_ms, mut oracle_ms) = (0.0, 0.0, 0.0);
             let sched = schedule_for(seed);
             let mut net = TimeoutNet::with_builder(sched.n, timeout, SERVICE_DELAY, builder(seed));
-            time_ms(&mut rec.sim_ms, || {
+            time_ms(&mut sim_ms, || {
                 drive_schedule(
                     &mut net,
                     &sched,
@@ -133,12 +196,11 @@ fn main() {
                 );
                 net.run_to_quiescence(100_000_000);
             });
-            let c = time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
-                net.classify_reports()
-            });
-            genuine += c.genuine;
-            phantom += c.phantom;
-        }
+            let c = time_ms2(&mut verify_ms, &mut oracle_ms, || net.classify_reports());
+            ((c.genuine, c.phantom), sim_ms, verify_ms, oracle_ms)
+        });
+        let genuine: usize = outs.iter().map(|(g, _)| g).sum();
+        let phantom: usize = outs.iter().map(|(_, p)| p).sum();
         let total = genuine + phantom;
         table.row([
             format!("timeout (T={timeout})"),
@@ -162,12 +224,11 @@ fn main() {
         (SnapshotMode::OnePhase, "central 1-phase"),
         (SnapshotMode::TwoPhase, "central 2-phase"),
     ] {
-        let mut genuine = 0usize;
-        let mut phantom = 0usize;
-        for seed in 0..RUNS {
+        let outs = seeds(fan, &mut rec, |seed| {
+            let (mut sim_ms, mut verify_ms, mut oracle_ms) = (0.0, 0.0, 0.0);
             let sched = schedule_for(seed);
             let mut net = CentralNet::with_builder(sched.n, mode, 80, SERVICE_DELAY, builder(seed));
-            time_ms(&mut rec.sim_ms, || {
+            time_ms(&mut sim_ms, || {
                 drive_schedule(
                     &mut net,
                     &sched,
@@ -180,12 +241,11 @@ fn main() {
                 let end = net.now() + 5_000;
                 net.run_until(SimTime::from_ticks(end.ticks()));
             });
-            let c = time_ms2(&mut rec.verify_ms, &mut rec.oracle_ms, || {
-                net.classify_reports()
-            });
-            genuine += c.genuine;
-            phantom += c.phantom;
-        }
+            let c = time_ms2(&mut verify_ms, &mut oracle_ms, || net.classify_reports());
+            ((c.genuine, c.phantom), sim_ms, verify_ms, oracle_ms)
+        });
+        let genuine: usize = outs.iter().map(|(g, _)| g).sum();
+        let phantom: usize = outs.iter().map(|(_, p)| p).sum();
         let total = genuine + phantom;
         table.row([
             label.to_string(),

@@ -54,6 +54,19 @@ pub struct BenchRecord {
     pub peak_queue_depth: usize,
     /// Whether the runs were fanned out over threads (`CMH_PAR_SEEDS`).
     pub parallel: bool,
+    /// Simulator shard count the runs used (`CMH_SHARDS`, default 1 —
+    /// the sequential engine).
+    pub shards: usize,
+    /// Vertices (simulated nodes) of the largest configuration run; 0
+    /// where the experiment has no single meaningful size.
+    pub vertices: u64,
+    /// Peak resident set size of the whole process (`VmHWM`), in bytes;
+    /// stamped by [`BenchRecord::finish`]. 0 where procfs is unavailable.
+    pub peak_rss_bytes: u64,
+    /// `peak_rss_bytes / vertices` (0 when `vertices` is 0): the memory
+    /// footprint per simulated vertex at the largest configuration. An
+    /// upper bound — the peak includes the harness itself.
+    pub mem_bytes_per_vertex: f64,
 }
 
 impl BenchRecord {
@@ -62,6 +75,7 @@ impl BenchRecord {
         BenchRecord {
             experiment: experiment.to_string(),
             parallel: crate::sweep::parallel_enabled(),
+            shards: crate::sweep::shards_from_env(),
             ..BenchRecord::default()
         }
     }
@@ -100,6 +114,14 @@ impl BenchRecord {
         let _ = writeln!(s, "  \"events_per_sec\": {:.1},", self.events_per_sec());
         let _ = writeln!(s, "  \"probes_per_sec\": {:.1},", self.probes_per_sec());
         let _ = writeln!(s, "  \"peak_queue_depth\": {},", self.peak_queue_depth);
+        let _ = writeln!(s, "  \"shards\": {},", self.shards);
+        let _ = writeln!(s, "  \"vertices\": {},", self.vertices);
+        let _ = writeln!(s, "  \"peak_rss_bytes\": {},", self.peak_rss_bytes);
+        let _ = writeln!(
+            s,
+            "  \"mem_bytes_per_vertex\": {:.1},",
+            self.mem_bytes_per_vertex
+        );
         let _ = writeln!(s, "  \"parallel\": {}", self.parallel);
         s.push('}');
         s
@@ -123,12 +145,37 @@ impl BenchRecord {
     /// target dir must not fail an experiment.
     pub fn finish(mut self, started: Instant) {
         self.wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        self.peak_rss_bytes = peak_rss_bytes();
+        if self.vertices > 0 {
+            self.mem_bytes_per_vertex = self.peak_rss_bytes as f64 / self.vertices as f64;
+        }
         let dir = Path::new("target/experiments/bench");
         match self.write_to(dir) {
             Ok(path) => println!("\nbench record: {}", path.display()),
             Err(e) => eprintln!("bench record not written ({e})"),
         }
     }
+}
+
+/// Peak resident set size of this process, in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns 0 where procfs is unavailable
+/// (non-Linux hosts) — records degrade to "unknown", never fail.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
 }
 
 fn rate(count: u64, wall_ms: f64) -> f64 {
@@ -172,8 +219,22 @@ mod tests {
         assert!(j.contains("\"detector_ms\": 0.000"));
         assert!(j.contains("\"verify_ms\": 0.500"));
         assert!(j.contains("\"peak_queue_depth\": 3"));
+        assert!(j.contains("\"shards\": "));
+        assert!(j.contains("\"vertices\": 0"));
+        assert!(j.contains("\"mem_bytes_per_vertex\": 0.0"));
         // No trailing comma before the closing brace.
         assert!(!j.contains(",\n}"));
+    }
+
+    #[test]
+    fn peak_rss_reads_procfs_on_linux() {
+        // Touch some memory so the high-water mark is nonzero, then read.
+        let v = vec![0u8; 1 << 20];
+        std::hint::black_box(&v);
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 1 << 20, "VmHWM should exceed 1 MiB, got {rss}");
+        }
     }
 
     #[test]

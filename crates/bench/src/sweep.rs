@@ -25,6 +25,18 @@ pub fn parallel_enabled() -> bool {
     }
 }
 
+/// The simulator shard count requested via `CMH_SHARDS` (unset, empty,
+/// `0` or unparsable mean 1 — the sequential engine). The same variable
+/// `simnet::sim::SimBuilder::shards_from_env` reads; mirrored here so the
+/// `exp_*` binaries can stamp the count into their [`crate::record`]s.
+pub fn shards_from_env() -> usize {
+    std::env::var("CMH_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// Applies `f` to every item — in parallel iff [`parallel_enabled`] —
 /// returning results in input order.
 pub fn sweep_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>

@@ -11,7 +11,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use simnet::latency::LatencyModel;
 use simnet::metrics::Metrics;
@@ -128,7 +128,7 @@ impl std::error::Error for ValidationError {}
 /// ```
 pub struct BasicNet {
     sim: Simulation<BasicMsg, BasicProcess>,
-    journal: Rc<RefCell<Journal>>,
+    journal: Arc<Mutex<Journal>>,
     /// Checkpointed seek state over `journal`, shared by every as-of-time
     /// query so repeated validation passes replay O(K) deltas, not the
     /// whole journal. Interior mutability keeps `graph_at(&self)` stable.
@@ -156,10 +156,10 @@ impl BasicNet {
     /// Creates a network with full control over the simulation builder
     /// (latency model, tracing, seed).
     pub fn with_builder(n: usize, cfg: BasicConfig, builder: SimBuilder) -> Self {
-        let mut sim = builder.build();
-        let journal = Rc::new(RefCell::new(Journal::new()));
+        let mut sim = builder.build_mt();
+        let journal = Arc::new(Mutex::new(Journal::new()));
         for _ in 0..n {
-            sim.add_node(BasicProcess::new(cfg).with_journal(Rc::clone(&journal)));
+            sim.add_node(BasicProcess::new(cfg).with_journal(Arc::clone(&journal)));
         }
         BasicNet {
             sim,
@@ -271,7 +271,7 @@ impl BasicNet {
     /// A clone of the full mutation journal (for offline analyses such as
     /// detection-latency measurement).
     pub fn journal_snapshot(&self) -> Journal {
-        self.journal.borrow().clone()
+        self.journal.lock().expect("journal lock").clone()
     }
 
     /// Reconstructs the wait-for graph as of time `at` from the journal.
@@ -282,7 +282,7 @@ impl BasicNet {
     pub fn graph_at(&self, at: SimTime) -> Result<WaitForGraph, ValidationError> {
         self.cursor
             .borrow_mut()
-            .seek(&self.journal.borrow(), at)
+            .seek(&self.journal.lock().expect("journal lock"), at)
             .cloned()
             .map_err(|e| ValidationError::IllegalHistory {
                 detail: e.to_string(),
@@ -311,7 +311,7 @@ impl BasicNet {
         let ds = self.declarations();
         // Declarations are time-sorted, so the cursor only moves forward;
         // the whole pass applies each journal entry at most once.
-        let journal = self.journal.borrow();
+        let journal = self.journal.lock().expect("journal lock");
         let mut cursor = self.cursor.borrow_mut();
         let mut oracle = self.oracle.borrow_mut();
         for d in &ds {
@@ -341,7 +341,7 @@ impl BasicNet {
     /// [`ValidationError::MissedDeadlock`] listing an undetected cycle's
     /// members, or [`ValidationError::IllegalHistory`].
     pub fn verify_completeness(&self) -> Result<usize, ValidationError> {
-        let journal = self.journal.borrow();
+        let journal = self.journal.lock().expect("journal lock");
         let mut cursor = self.cursor.borrow_mut();
         let g =
             cursor

@@ -20,11 +20,10 @@
 //! It never inspects the global graph; the shared [`Journal`] is written
 //! for *validation only* and is never read by the algorithm.
 
-use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 use simnet::sim::{Context, NodeId, Process, TimerId};
@@ -32,7 +31,7 @@ use wfg::journal::{GraphOp, Journal};
 
 use crate::config::{BasicConfig, ForwardPolicy, InitiationPolicy, ReplyPolicy};
 use crate::probe::{DeadlockReport, ProbeTag};
-use crate::vset::VecSet;
+use crate::vset::{VecMap, VecSet};
 use crate::wfgd::{EdgeSet, WfgdState};
 
 /// Messages of the basic model: the underlying computation's requests and
@@ -118,27 +117,26 @@ pub struct BasicProcess {
     /// Number of probe computations this vertex has initiated.
     own_n: u64,
     /// §4.3 state: latest computation seen per foreign initiator, plus
-    /// whether A2 has already run for it — the paper's O(N) array,
-    /// stored literally as one dense slot per possible initiator.
-    latest: Vec<Option<(u64, bool)>>,
-    /// Number of `Some` entries in `latest`.
-    tracked: usize,
-    /// High-water mark of `tracked`, for experiment E3.
+    /// whether A2 has already run for it — the paper's O(N) array, stored
+    /// sparsely (sorted by initiator id) so a vertex's footprint scales
+    /// with the initiators it actually hears from, not the network size.
+    latest: VecMap<NodeId, (u64, bool)>,
+    /// High-water mark of `latest.len()`, for experiment E3.
     latest_high_water: usize,
     /// All declarations made by this vertex (step A1).
     declarations: Vec<DeadlockReport>,
     wfgd: WfgdState,
-    /// Bumped on every request to a target (dense, indexed by target); lets
+    /// Bumped on every request to a target (sparse, keyed by target); lets
     /// delayed-initiation timers detect that "their" edge was deleted and a
     /// new one created.
-    wait_epoch: Vec<u64>,
+    wait_epoch: VecMap<NodeId, u64>,
     /// Pending delayed-initiation timers. `BTreeMap`, not `HashMap`
     /// (cmh-lint D1): only keyed insert/remove today, but ordered by
     /// construction so no future iteration can depend on `RandomState`.
     delayed_timers: BTreeMap<TimerId, (NodeId, u64)>,
     serve_timer_pending: bool,
     /// Shared mutation journal (validation only — never read here).
-    journal: Option<Rc<RefCell<Journal>>>,
+    journal: Option<Arc<Mutex<Journal>>>,
     /// Probes sent per computation, for experiments E1/E3.
     probes_sent_per_tag: BTreeMap<ProbeTag, u64>,
     /// At-most-one-probe-per-edge-per-computation invariant tracking:
@@ -167,12 +165,11 @@ impl BasicProcess {
             out_waits: VecSet::new(),
             in_black: VecSet::new(),
             own_n: 0,
-            latest: Vec::new(),
-            tracked: 0,
+            latest: VecMap::new(),
             latest_high_water: 0,
             declarations: Vec::new(),
             wfgd: WfgdState::new(),
-            wait_epoch: Vec::new(),
+            wait_epoch: VecMap::new(),
             delayed_timers: BTreeMap::new(),
             serve_timer_pending: false,
             journal: None,
@@ -183,7 +180,7 @@ impl BasicProcess {
 
     /// Attaches the shared validation journal (used by
     /// [`crate::engine::BasicNet`]).
-    pub fn with_journal(mut self, journal: Rc<RefCell<Journal>>) -> Self {
+    pub fn with_journal(mut self, journal: Arc<Mutex<Journal>>) -> Self {
         self.journal = Some(journal);
         self
     }
@@ -210,11 +207,11 @@ impl BasicProcess {
             return Err(RequestError::AlreadyWaiting { target });
         }
         self.out_waits.insert(target);
-        if self.wait_epoch.len() <= target.0 {
-            self.wait_epoch.resize(target.0 + 1, 0);
-        }
-        self.wait_epoch[target.0] += 1;
-        let epoch = self.wait_epoch[target.0];
+        let epoch = {
+            let e = self.wait_epoch.entry_or_default(target);
+            *e += 1;
+            *e
+        };
         self.record(ctx, GraphOp::CreateGrey(me, target));
         ctx.count(counters::REQUEST_SENT);
         ctx.send(target, BasicMsg::Request);
@@ -304,7 +301,7 @@ impl BasicProcess {
 
     /// Current number of tracked foreign computations (§4.3 state).
     pub fn tracked_computations(&self) -> usize {
-        self.tracked
+        self.latest.len()
     }
 
     /// High-water mark of tracked foreign computations (experiment E3).
@@ -316,7 +313,7 @@ impl BasicProcess {
 
     fn record(&self, ctx: &Context<'_, BasicMsg>, op: GraphOp) {
         if let Some(j) = &self.journal {
-            j.borrow_mut().record(ctx.now(), op);
+            j.lock().expect("journal lock").record(ctx.now(), op);
         }
     }
 
@@ -409,23 +406,19 @@ impl BasicProcess {
         // A2 for a foreign computation: act on the *first* meaningful probe
         // of the latest computation of each initiator (unless the ablation
         // forwarding policy is in force).
-        let idx = tag.initiator.0;
-        if self.latest.len() <= idx {
-            self.latest.resize(idx + 1, None);
-        }
-        let slot = &mut self.latest[idx];
-        let (seen_n, forwarded) = slot.unwrap_or((0, false));
+        let (seen_n, forwarded) = self
+            .latest
+            .get(&tag.initiator)
+            .copied()
+            .unwrap_or((0, false));
         let already_forwarded = tag.n == seen_n && forwarded;
         if tag.n < seen_n
             || (already_forwarded && self.cfg.forward == ForwardPolicy::FirstMeaningful)
         {
             return; // superseded, or already forwarded
         }
-        if slot.is_none() {
-            self.tracked += 1;
-        }
-        *slot = Some((tag.n, true));
-        self.latest_high_water = self.latest_high_water.max(self.tracked);
+        self.latest.insert(tag.initiator, (tag.n, true));
+        self.latest_high_water = self.latest_high_water.max(self.latest.len());
         for i in 0..self.out_waits.len() {
             let target = self.out_waits.as_slice()[i];
             self.send_probe(ctx, tag, target);
@@ -494,7 +487,7 @@ impl Process<BasicMsg> for BasicProcess {
             TAG_DELAYED_INIT => {
                 if let Some((target, epoch)) = self.delayed_timers.remove(&timer) {
                     let still_waiting = self.out_waits.contains(&target)
-                        && self.wait_epoch.get(target.0).copied() == Some(epoch);
+                        && self.wait_epoch.get(&target).copied() == Some(epoch);
                     if still_waiting {
                         // §4.3: the edge persisted for T ticks — initiate.
                         self.initiate(ctx);
@@ -519,7 +512,6 @@ impl Process<BasicMsg> for BasicProcess {
     /// after restart, so its fresh computation finds the cycle again).
     fn on_restart(&mut self, ctx: &mut Context<'_, BasicMsg>) {
         self.latest.clear();
-        self.tracked = 0;
         self.probe_edges_used.clear();
         // All timers armed before the crash are gone; forget their
         // bookkeeping so late firings are ignored, then re-arm.
@@ -534,7 +526,7 @@ impl Process<BasicMsg> for BasicProcess {
             InitiationPolicy::Delayed { t } => {
                 for i in 0..self.out_waits.len() {
                     let target = self.out_waits.as_slice()[i];
-                    let epoch = self.wait_epoch.get(target.0).copied().unwrap_or(0);
+                    let epoch = self.wait_epoch.get(&target).copied().unwrap_or(0);
                     let id = ctx.set_timer(t, TAG_DELAYED_INIT);
                     self.delayed_timers.insert(id, (target, epoch));
                 }

@@ -134,6 +134,122 @@ impl<T: Copy + Ord> Extend<T> for VecSet<T> {
     }
 }
 
+/// A map from `Copy + Ord` keys to values, stored as one sorted vector of
+/// pairs — [`VecSet`]'s sibling for the detector tables keyed by node id.
+///
+/// Replaces the dense index-by-raw-`NodeId` vectors (`latest`,
+/// `wait_epoch`) whose length grew to the *largest id ever touched*: fine
+/// at N=10, quadratic across a million-vertex network (N processes × N
+/// slots). Entries here are bounded by the keys actually used — a vertex's
+/// degree / tracked-initiator count — which is what the paper's O(N) array
+/// means per process in sparse topologies. Lookup is a binary search over
+/// contiguous pairs; insert/remove are `O(len)` memmoves, the right trade
+/// for degree-bounded tables.
+///
+/// # Examples
+///
+/// ```
+/// use cmh_core::vset::VecMap;
+///
+/// let mut m = VecMap::new();
+/// m.insert(3, "c");
+/// m.insert(1, "a");
+/// assert_eq!(m.get(&3), Some(&"c"));
+/// assert_eq!(m.len(), 2);
+/// *m.entry_or_default(7) = "g";
+/// assert_eq!(m.get(&7), Some(&"g"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct VecMap<K, V> {
+    items: Vec<(K, V)>,
+}
+
+impl<K: Copy + Ord, V> VecMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        VecMap { items: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The value for `key`, if present (binary search).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.items
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &self.items[i].1)
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.items.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => Some(&mut self.items[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts or replaces the value for `key`; returns the previous value
+    /// if there was one.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.items.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => Some(std::mem::replace(&mut self.items[i].1, value)),
+            Err(i) => {
+                self.items.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes the entry for `key`; returns its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        match self.items.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => Some(self.items.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// The entries in ascending key order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (K, V)> {
+        self.items.iter()
+    }
+}
+
+impl<K: Copy + Ord, V: Default> VecMap<K, V> {
+    /// Mutable access to the value for `key`, inserting `V::default()`
+    /// first if absent.
+    pub fn entry_or_default(&mut self, key: K) -> &mut V {
+        let i = match self.items.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.items.insert(i, (key, V::default()));
+                i
+            }
+        };
+        &mut self.items[i].1
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for VecMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.items.iter().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +269,39 @@ mod tests {
     fn from_iterator_dedups() {
         let s: VecSet<u32> = [3, 1, 3, 2, 2].into_iter().collect();
         assert_eq!(s.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn vecmap_matches_btreemap_under_random_mix() {
+        use std::collections::BTreeMap;
+        let mut m = VecMap::new();
+        let mut model = BTreeMap::new();
+        let mut state = 6789u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32 % 24
+        };
+        for i in 0..2_000u64 {
+            let k = rnd();
+            match i % 4 {
+                0 => assert_eq!(m.remove(&k), model.remove(&k)),
+                1 => assert_eq!(m.insert(k, i), model.insert(k, i)),
+                2 => {
+                    *m.entry_or_default(k) += 1;
+                    *model.entry(k).or_default() += 1;
+                }
+                _ => {
+                    assert_eq!(m.get(&k), model.get(&k));
+                    assert_eq!(m.get_mut(&k).map(|v| *v), model.get_mut(&k).map(|v| *v));
+                }
+            }
+            assert_eq!(m.len(), model.len());
+            assert_eq!(m.is_empty(), model.is_empty());
+        }
+        assert_eq!(
+            m.iter().cloned().collect::<Vec<_>>(),
+            model.into_iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -107,6 +107,39 @@ impl LatencyModel {
         };
         d.max(1)
     }
+
+    /// The smallest delay this model can ever produce — the conservative
+    /// lookahead bound of the sharded stepper (see [`crate::shard`]).
+    ///
+    /// Every model clamps samples to at least 1 tick, so `min_delay() >= 1`
+    /// always holds: an event handled at tick `t` can only schedule
+    /// consequences at `t + min_delay()` or later, which makes a window of
+    /// `min_delay()` ticks safe to advance without cross-shard
+    /// synchronisation. For each model:
+    ///
+    /// * `Fixed { ticks }` → `max(ticks, 1)`;
+    /// * `Uniform { lo, hi }` → `max(min(lo, hi), 1)` (sample normalises
+    ///   swapped bounds the same way);
+    /// * `Skewed { mean }` → 1 (the clamped-exponential tail reaches 1);
+    /// * `Bimodal { .. }` → the smaller of the two mode minima, floor 1;
+    /// * `Distance { base, .. }` → `max(base, 1)` (a zero-hop self-send
+    ///   pays only the base delay).
+    pub fn min_delay(&self) -> u64 {
+        let d = match *self {
+            LatencyModel::Fixed { ticks } => ticks,
+            LatencyModel::Uniform { lo, hi } => lo.min(hi),
+            LatencyModel::Skewed { .. } => 1,
+            LatencyModel::Bimodal {
+                fast_lo,
+                fast_hi,
+                slow_lo,
+                slow_hi,
+                ..
+            } => fast_lo.min(fast_hi).min(slow_lo.min(slow_hi)),
+            LatencyModel::Distance { base, .. } => base,
+        };
+        d.max(1)
+    }
 }
 
 impl Default for LatencyModel {
@@ -131,6 +164,69 @@ mod tests {
         assert_eq!(m.sample(&mut r, NodeId(0), NodeId(1)), 7);
         let z = LatencyModel::Fixed { ticks: 0 };
         assert_eq!(z.sample(&mut r, NodeId(0), NodeId(1)), 1);
+    }
+
+    #[test]
+    fn min_delay_bounds_every_model_sample() {
+        let models = [
+            LatencyModel::Fixed { ticks: 7 },
+            LatencyModel::Fixed { ticks: 0 },
+            LatencyModel::Uniform { lo: 3, hi: 9 },
+            LatencyModel::Uniform { lo: 9, hi: 3 },
+            LatencyModel::Uniform { lo: 0, hi: 2 },
+            LatencyModel::Skewed { mean: 12 },
+            LatencyModel::Bimodal {
+                fast_lo: 2,
+                fast_hi: 5,
+                slow_lo: 40,
+                slow_hi: 80,
+                slow_prob: 0.3,
+            },
+            LatencyModel::Distance {
+                base: 4,
+                per_hop: 3,
+            },
+            LatencyModel::Distance {
+                base: 0,
+                per_hop: 3,
+            },
+        ];
+        let mut r = rng();
+        for m in &models {
+            let lo = m.min_delay();
+            assert!(lo >= 1, "{m:?} min_delay below 1");
+            for i in 0..500 {
+                let d = m.sample(&mut r, NodeId(i % 7), NodeId((i * 3) % 7));
+                assert!(d >= lo, "{m:?} sampled {d} below min_delay {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_delay_exact_values() {
+        assert_eq!(LatencyModel::Fixed { ticks: 7 }.min_delay(), 7);
+        assert_eq!(LatencyModel::Fixed { ticks: 0 }.min_delay(), 1);
+        assert_eq!(LatencyModel::Uniform { lo: 9, hi: 3 }.min_delay(), 3);
+        assert_eq!(LatencyModel::Skewed { mean: 100 }.min_delay(), 1);
+        assert_eq!(
+            LatencyModel::Bimodal {
+                fast_lo: 6,
+                fast_hi: 9,
+                slow_lo: 2,
+                slow_hi: 80,
+                slow_prob: 0.5,
+            }
+            .min_delay(),
+            2
+        );
+        assert_eq!(
+            LatencyModel::Distance {
+                base: 5,
+                per_hop: 9
+            }
+            .min_delay(),
+            5
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod reliable;
 pub mod rng;
 pub mod runtime;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod trace;

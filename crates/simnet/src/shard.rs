@@ -1,0 +1,1581 @@
+//! Sharded deterministic simulation core: conservative-lookahead windows
+//! over per-shard event queues, bit-identical to the sequential engine.
+//!
+//! # Architecture
+//!
+//! The event loop is partitioned by node into `S` shards (node `i` lives
+//! on shard `i mod S` — its "site"). Each shard owns a slab-backed
+//! [`EventQueue`], the processes assigned to it, and struct-of-arrays
+//! bookkeeping for exactly those nodes (crash flags, reliable-transport
+//! channel state keyed by *receiving* node, per-node RNG substreams, a
+//! timer slab). Simulated time advances in **windows**: every
+//! [`crate::latency::LatencyModel`] guarantees a send at tick `t` lands at
+//! `t + min_delay()` or later (`min_delay() >= 1`), timer delays are
+//! clamped to `>= 1`, and retransmission backoffs are `>= 1`, so all
+//! events due at the current tick are mutually independent across shards
+//! and can be handled in parallel. The engine uses the degenerate
+//! conservative window of exactly one tick — the safe window for the
+//! workspace's default models (`min_delay() == 1`) — and exposes the
+//! derived per-model bound for larger-lookahead scheduling decisions.
+//!
+//! # Two-phase windows (why the result is bit-identical)
+//!
+//! The sequential engine's determinism contract is stronger than "same
+//! inputs, same outputs": its observable order is `(time, global seq)` and
+//! its latency/fault draws come from single global RNG streams consumed
+//! in event order. A naive parallel engine with per-shard RNGs would be
+//! self-consistent but *different* from the sequential pins. Instead,
+//! every window runs in two phases:
+//!
+//! 1. **Parallel handler phase**: each shard pops its events due at the
+//!    window tick in `(time, seq)` order and runs the process handlers.
+//!    Handlers mutate only shard-local state; every side effect that
+//!    touches global order — `send`, `set_timer`, acks, retransmissions —
+//!    is *deferred* as a request, recorded (interleaved with the event's
+//!    trace fragments) in the shard's window log.
+//! 2. **Sequential barrier phase**: the window logs are merged across
+//!    shards by the originating event's **global seq** — exactly the
+//!    order the sequential engine would have executed them — and each
+//!    request is replayed against the sequencer: global RNG draws
+//!    (latency, fault classification), FIFO channel clocks, global seq
+//!    assignment, trace stitching. Replayed pushes land in the owning
+//!    shard's queue keyed `(time, seq)`.
+//!
+//! Because every cross-shard-visible effect funnels through the barrier in
+//! the sequential engine's exact order, traces, metrics and digests are
+//! byte-identical for any shard count and any thread count. Processes that
+//! draw from [`crate::sim::Context::rng`] *inside handlers* are the one
+//! exception: those draws come from a per-node forked substream (stable
+//! across `S >= 2` and thread counts, but not equal to the sequential
+//! engine's global stream), so such processes should stay on the
+//! sequential engine (`shards(1)`); see DESIGN §12.
+//!
+//! Threading is an opt-in capability captured at build time
+//! ([`crate::sim::SimBuilder::build_mt`]) because it needs `M: Send` and
+//! `P: Send`; without it the sharded engine runs its phases inline on one
+//! thread with identical results.
+
+// cmh-lint: allow-file(D4) — the sharded stepper's parallel handler phase:
+// scoped worker threads advance disjoint shards inside one conservative
+// window; all RNG, trace and scheduling order is replayed sequentially at
+// the window barrier, so results are bit-identical to single-threaded runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::equeue::{EntryId, EventQueue};
+use crate::faults::{DropReason, FaultState, SendFate};
+use crate::latency::LatencyModel;
+use crate::metrics::{builtin, Metrics};
+use crate::reliable::{ReliableConfig, ReliableState, WireAccept};
+use crate::rng::DetRng;
+use crate::sim::{summarize, Context, NodeId, PendingEvent, Process, RunOutcome, TimerId};
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// RNG substream id base for per-node handler streams (`ctx.rng()` in
+/// sharded mode): node `i` draws from `root.fork(NODE_RNG_STREAM ^ i)`,
+/// which depends only on the seed and the node id — never on the shard
+/// count or thread count.
+const NODE_RNG_STREAM: u64 = 0x5348_4152_4400_0000;
+
+/// Events of a shard queue. Mirrors the sequential engine's event kinds;
+/// `Timer` additionally carries its slab handle so the fired callback sees
+/// the same [`TimerId`] that `set_timer` returned.
+enum SEv<M> {
+    Start(NodeId),
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+        slot: u32,
+        gen: u16,
+    },
+    Crash(NodeId),
+    Restart(NodeId),
+    Wire {
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+    },
+    WireAck {
+        from: NodeId,
+        to: NodeId,
+        next: u64,
+    },
+    Retransmit {
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        attempt: u32,
+    },
+}
+
+/// A side effect deferred by the parallel phase, replayed at the barrier
+/// in global-seq order.
+enum Req<M> {
+    /// Full application send (the sequential engine's `Core::send`):
+    /// crashed-sender check, then the reliable or raw path with its
+    /// latency/fault draws.
+    Send { from: NodeId, to: NodeId, msg: M },
+    /// Arm a timer allocated in the parallel phase.
+    PushTimer {
+        node: NodeId,
+        slot: u32,
+        gen: u16,
+        tag: u64,
+        delay: u64,
+    },
+    /// Cancel a timer owned by another shard (same-shard cancels resolve
+    /// immediately in the parallel phase).
+    CancelTimer { shard: usize, slot: u32, gen: u16 },
+    /// Cumulative ack for data channel `(from, to)`, sent `to -> from`.
+    SendAck { from: NodeId, to: NodeId, next: u64 },
+    /// Put one copy of reliable packet `(from, to, seq)` on the wire
+    /// (retransmission path; the latency draw happens at replay).
+    Transmit { from: NodeId, to: NodeId, seq: u64 },
+    /// Re-arm the retransmission timer after a retry.
+    Rearm {
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        attempt: u32,
+        backoff: u64,
+    },
+    /// Propagate a crash-flag flip to the sequencer's global mirror.
+    CrashFlip { node: NodeId, down: bool },
+}
+
+/// One entry of a shard's window log: a ready trace event, or a deferred
+/// request. Items of one originating event stay contiguous and ordered,
+/// so replaying the merged logs reproduces the sequential engine's exact
+/// trace/RNG interleaving.
+enum Item<M> {
+    Trace(TraceEvent),
+    Req(Req<M>),
+}
+
+/// One shard's window log taken at the barrier: the item stream plus its
+/// per-event marks `(originating seq, start index)`.
+type WindowLog<M> = (Vec<Item<M>>, Vec<(u64, u32)>);
+
+#[derive(Clone, Copy)]
+enum TimerSlot {
+    Free,
+    /// Allocated this window; its `PushTimer` has not replayed yet.
+    Pending {
+        gen: u16,
+        cancelled: bool,
+    },
+    /// Armed in the shard queue.
+    Armed {
+        gen: u16,
+        entry: EntryId,
+    },
+}
+
+/// Per-shard timer slab: `set_timer` must hand back a stable [`TimerId`]
+/// *before* the barrier assigns the queue entry, so ids name slab slots
+/// (generation-stamped against reuse), not queue entries.
+struct TimerSlab {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    fn new() -> Self {
+        TimerSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, prev_gen_hint: u16) -> (u32, u16) {
+        if let Some(slot) = self.free.pop() {
+            let gen = match self.slots[slot as usize] {
+                TimerSlot::Free => prev_gen_hint,
+                TimerSlot::Pending { gen, .. } | TimerSlot::Armed { gen, .. } => gen,
+            }
+            .wrapping_add(1);
+            self.slots[slot as usize] = TimerSlot::Pending {
+                gen,
+                cancelled: false,
+            };
+            (slot, gen)
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(TimerSlot::Pending {
+                gen: 1,
+                cancelled: false,
+            });
+            (slot, 1)
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.slots[slot as usize] = TimerSlot::Free;
+        self.free.push(slot);
+    }
+}
+
+const TIMER_SHARD_BITS: u64 = 15;
+const TIMER_GEN_BITS: u64 = 16;
+const TIMER_SLOT_BITS: u64 = 32;
+
+fn encode_timer(shard: usize, slot: u32, gen: u16) -> u64 {
+    debug_assert!((shard as u64) < (1 << TIMER_SHARD_BITS));
+    (1 << 63)
+        | ((shard as u64) << (TIMER_GEN_BITS + TIMER_SLOT_BITS))
+        | ((gen as u64) << TIMER_SLOT_BITS)
+        | slot as u64
+}
+
+fn decode_timer(raw: u64) -> Option<(usize, u32, u16)> {
+    if raw >> 63 != 1 {
+        return None;
+    }
+    let shard =
+        ((raw >> (TIMER_GEN_BITS + TIMER_SLOT_BITS)) & ((1 << TIMER_SHARD_BITS) - 1)) as usize;
+    let gen = ((raw >> TIMER_SLOT_BITS) & ((1 << TIMER_GEN_BITS) - 1)) as u16;
+    let slot = (raw & ((1 << TIMER_SLOT_BITS) - 1)) as u32;
+    Some((shard, slot, gen))
+}
+
+/// Everything a shard owns besides its processes. Handler contexts
+/// ([`Context`] in shard mode) borrow exactly this, so the parallel phase
+/// never touches global state.
+pub(crate) struct ShardLocal<M> {
+    idx: usize,
+    nshards: usize,
+    node_count: usize,
+    now: SimTime,
+    queue: EventQueue<SEv<M>>,
+    metrics: Metrics,
+    /// Crash flags for this shard's nodes, indexed by local id.
+    crashed: Vec<bool>,
+    /// Reliable-transport state for channels whose *receiver* lives on
+    /// this shard (sender book-keeping included: `WireAck`/`Retransmit`
+    /// events are routed to the receiver's shard so both halves stay
+    /// local to the events that touch them).
+    rel: Option<ReliableState<M>>,
+    timers: TimerSlab,
+    /// Window log: trace fragments and deferred requests, in handler
+    /// order. `marks[k] = (event seq, items index where event k starts)`.
+    items: Vec<Item<M>>,
+    marks: Vec<(u64, u32)>,
+    delivery_buf: Vec<M>,
+    /// Per-node handler RNG substreams, indexed by local id.
+    rngs: Vec<DetRng>,
+    tracing: bool,
+    halted: bool,
+    /// Events processed since the engine's current run call started.
+    events: u64,
+}
+
+impl<M> ShardLocal<M> {
+    pub(crate) fn ctx_now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn ctx_node_count(&self) -> usize {
+        self.node_count
+    }
+
+    pub(crate) fn ctx_tracing(&self) -> bool {
+        self.tracing
+    }
+}
+
+impl<M: fmt::Debug + Clone> ShardLocal<M> {
+    fn local_idx(&self, node: NodeId) -> usize {
+        debug_assert_eq!(node.0 % self.nshards, self.idx);
+        node.0 / self.nshards
+    }
+
+    fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed
+            .get(self.local_idx(node))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Sets a local crash flag; returns `true` if it changed.
+    fn set_crashed(&mut self, node: NodeId, down: bool) -> bool {
+        let l = self.local_idx(node);
+        if self.crashed.len() <= l {
+            self.crashed.resize(l + 1, false);
+        }
+        let changed = self.crashed[l] != down;
+        self.crashed[l] = down;
+        changed
+    }
+
+    // ---- Context operations (delegated from `sim::Context`) ----
+
+    pub(crate) fn ctx_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.items.push(Item::Req(Req::Send { from, to, msg }));
+    }
+
+    pub(crate) fn ctx_set_timer(&mut self, node: NodeId, delay: u64, tag: u64) -> TimerId {
+        let (slot, gen) = self.timers.alloc(0);
+        self.items.push(Item::Req(Req::PushTimer {
+            node,
+            slot,
+            gen,
+            tag,
+            delay,
+        }));
+        TimerId(encode_timer(self.idx, slot, gen))
+    }
+
+    pub(crate) fn ctx_cancel_timer(&mut self, id: TimerId) {
+        let Some((shard, slot, gen)) = decode_timer(id.0) else {
+            return; // sequential-engine id (or garbage): nothing it can name here
+        };
+        if shard != self.idx {
+            // Cross-shard cancel: resolves at the barrier. Safe because an
+            // armed timer always fires at least one tick in the future.
+            self.items
+                .push(Item::Req(Req::CancelTimer { shard, slot, gen }));
+            return;
+        }
+        match self.timers.slots.get(slot as usize).copied() {
+            Some(TimerSlot::Pending { gen: g, .. }) if g == gen => {
+                self.timers.slots[slot as usize] = TimerSlot::Pending {
+                    gen,
+                    cancelled: true,
+                };
+            }
+            Some(TimerSlot::Armed { gen: g, entry }) if g == gen => {
+                self.queue.remove(entry);
+                self.timers.release(slot);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn ctx_count(&mut self, kind: &str) {
+        self.metrics.inc(kind);
+    }
+
+    pub(crate) fn ctx_count_n(&mut self, kind: &str, n: u64) {
+        self.metrics.add(kind, n);
+    }
+
+    pub(crate) fn ctx_note(&mut self, node: NodeId, text: String) {
+        if !self.tracing {
+            return;
+        }
+        let at = self.now;
+        self.items
+            .push(Item::Trace(TraceEvent::Note { at, node, text }));
+    }
+
+    pub(crate) fn ctx_rng(&mut self, node: NodeId) -> &mut DetRng {
+        let l = self.local_idx(node);
+        &mut self.rngs[l]
+    }
+
+    pub(crate) fn ctx_halt(&mut self) {
+        self.halted = true;
+    }
+
+    // ---- parallel-phase event handling ----
+
+    /// Mirrors the sequential engine's `wire_arrival`: resequence and
+    /// deduplicate packet `seq`, stage deliverable payloads in
+    /// `delivery_buf`, and defer the cumulative ack.
+    fn wire_arrival(&mut self, from: NodeId, to: NodeId, seq: u64) {
+        self.delivery_buf.clear();
+        let rel = self.rel.as_mut().expect("reliable state present");
+        let ReliableState {
+            senders,
+            receivers,
+            ready,
+            ..
+        } = rel;
+        ready.clear();
+        let chan = receivers.entry((from, to)).or_default();
+        let accept = chan.accept(seq, ready);
+        let next = chan.expected;
+        match accept {
+            WireAccept::Duplicate => self.metrics.inc(builtin::DUPLICATES_SUPPRESSED),
+            WireAccept::Buffered => {}
+            WireAccept::Deliver => {
+                if let Some(chan) = senders.get_mut(&(from, to)) {
+                    for s in ready.iter() {
+                        if let Some(msg) = chan.buf.get_mut(s).and_then(|slot| slot.take()) {
+                            self.delivery_buf.push(msg);
+                        }
+                    }
+                }
+            }
+        }
+        self.items.push(Item::Req(Req::SendAck { from, to, next }));
+    }
+
+    fn ack_arrival(&mut self, from: NodeId, to: NodeId, next: u64) {
+        if let Some(rel) = self.rel.as_mut() {
+            if let Some(chan) = rel.senders.get_mut(&(from, to)) {
+                while let Some((&s, _)) = chan.buf.first_key_value() {
+                    if s >= next {
+                        break;
+                    }
+                    chan.buf.pop_first();
+                }
+            }
+        }
+    }
+
+    fn retransmit_due(&mut self, from: NodeId, to: NodeId, seq: u64, attempt: u32) {
+        enum Action {
+            Done,
+            GiveUp,
+            Retry(u64),
+        }
+        let action = {
+            let Some(rel) = self.rel.as_mut() else { return };
+            let cfg = rel.cfg;
+            match rel.senders.get_mut(&(from, to)) {
+                Some(chan) if chan.buf.contains_key(&seq) => {
+                    if attempt >= cfg.max_attempts {
+                        chan.buf.remove(&seq);
+                        Action::GiveUp
+                    } else {
+                        Action::Retry(cfg.backoff(attempt + 1))
+                    }
+                }
+                _ => Action::Done,
+            }
+        };
+        match action {
+            Action::Done => {}
+            Action::GiveUp => {
+                self.metrics.inc(builtin::DELIVERIES_ABANDONED);
+                self.metrics.inc(builtin::MESSAGES_DROPPED);
+                if self.tracing {
+                    let at = self.now;
+                    self.items.push(Item::Trace(TraceEvent::Drop {
+                        at,
+                        from,
+                        to,
+                        // cmh-lint: allow(D7) — gated on the shard's cached tracing flag (= Trace::is_enabled).
+                        summary: format!("pkt seq={seq}"),
+                        reason: DropReason::Abandoned,
+                    }));
+                }
+            }
+            Action::Retry(backoff) => {
+                self.metrics.inc(builtin::RETRANSMISSIONS);
+                if self.tracing {
+                    let at = self.now;
+                    self.items.push(Item::Trace(TraceEvent::Retransmit {
+                        at,
+                        from,
+                        to,
+                        seq,
+                        attempt,
+                    }));
+                }
+                self.items.push(Item::Req(Req::Transmit { from, to, seq }));
+                self.items.push(Item::Req(Req::Rearm {
+                    from,
+                    to,
+                    seq,
+                    attempt: attempt + 1,
+                    backoff,
+                }));
+            }
+        }
+    }
+}
+
+/// A shard: its local state plus the processes that live on it.
+pub(crate) struct Shard<M, P> {
+    local: ShardLocal<M>,
+    procs: Vec<P>,
+}
+
+impl<M: fmt::Debug + Clone, P: Process<M>> Shard<M, P> {
+    fn next_key(&self) -> Option<(SimTime, u64)> {
+        self.local.queue.peek_key()
+    }
+
+    /// Parallel phase: handle up to `limit` events due at `tick`, in
+    /// `(time, seq)` order, deferring all globally ordered side effects.
+    fn pass1(&mut self, tick: SimTime, limit: u64) -> u64 {
+        self.local.now = tick;
+        let mut handled = 0u64;
+        while handled < limit {
+            match self.local.queue.peek_key() {
+                Some((at, _)) if at == tick => {}
+                _ => break,
+            }
+            let (_entry, (_, seq), ev) = self.local.queue.pop().expect("peeked entry");
+            handled += 1;
+            self.local.events += 1;
+            self.local.metrics.inc(builtin::EVENTS);
+            self.local.marks.push((seq, self.local.items.len() as u32));
+            self.handle(ev);
+        }
+        handled
+    }
+
+    fn handle(&mut self, ev: SEv<M>) {
+        let Shard { local, procs } = self;
+        match ev {
+            SEv::Start(node) => {
+                let l = local.local_idx(node);
+                let mut ctx = Context::for_shard(node, local);
+                procs[l].on_start(&mut ctx);
+            }
+            SEv::Deliver { from, to, msg } => {
+                if local.is_crashed(to) {
+                    local.metrics.inc(builtin::MESSAGES_DROPPED);
+                    if local.tracing {
+                        let at = local.now;
+                        // cmh-lint: allow(D7) — gated on the shard's cached tracing flag (= Trace::is_enabled).
+                        let summary = summarize(&msg);
+                        local.items.push(Item::Trace(TraceEvent::Drop {
+                            at,
+                            from,
+                            to,
+                            summary,
+                            reason: DropReason::CrashedRecipient,
+                        }));
+                    }
+                    return;
+                }
+                local.metrics.inc(builtin::MESSAGES_DELIVERED);
+                if local.tracing {
+                    let at = local.now;
+                    // cmh-lint: allow(D7) — gated on the shard's cached tracing flag (= Trace::is_enabled).
+                    let summary = summarize(&msg);
+                    local.items.push(Item::Trace(TraceEvent::Deliver {
+                        at,
+                        from,
+                        to,
+                        summary,
+                    }));
+                }
+                let l = local.local_idx(to);
+                let mut ctx = Context::for_shard(to, local);
+                procs[l].on_message(&mut ctx, from, msg);
+            }
+            SEv::Timer {
+                node,
+                tag,
+                slot,
+                gen,
+            } => {
+                local.timers.release(slot);
+                if local.is_crashed(node) {
+                    // A crashed node's timers are lost, not deferred.
+                    return;
+                }
+                local.metrics.inc(builtin::TIMERS_FIRED);
+                if local.tracing {
+                    let at = local.now;
+                    local
+                        .items
+                        .push(Item::Trace(TraceEvent::Timer { at, node, tag }));
+                }
+                let id = TimerId(encode_timer(local.idx, slot, gen));
+                let l = local.local_idx(node);
+                let mut ctx = Context::for_shard(node, local);
+                procs[l].on_timer(&mut ctx, id, tag);
+            }
+            SEv::Crash(node) => {
+                if local.set_crashed(node, true) {
+                    local.metrics.inc(builtin::CRASHES);
+                    if local.tracing {
+                        let at = local.now;
+                        local
+                            .items
+                            .push(Item::Trace(TraceEvent::Crash { at, node }));
+                    }
+                    local
+                        .items
+                        .push(Item::Req(Req::CrashFlip { node, down: true }));
+                }
+            }
+            SEv::Restart(node) => {
+                if local.set_crashed(node, false) {
+                    local.metrics.inc(builtin::RESTARTS);
+                    if local.tracing {
+                        let at = local.now;
+                        local
+                            .items
+                            .push(Item::Trace(TraceEvent::Restart { at, node }));
+                    }
+                    local
+                        .items
+                        .push(Item::Req(Req::CrashFlip { node, down: false }));
+                    let l = local.local_idx(node);
+                    let mut ctx = Context::for_shard(node, local);
+                    procs[l].on_restart(&mut ctx);
+                }
+            }
+            SEv::Wire { from, to, seq } => {
+                if local.is_crashed(to) {
+                    local.metrics.inc(builtin::MESSAGES_DROPPED);
+                    if local.tracing {
+                        let at = local.now;
+                        local.items.push(Item::Trace(TraceEvent::Drop {
+                            at,
+                            from,
+                            to,
+                            // cmh-lint: allow(D7) — gated on the shard's cached tracing flag (= Trace::is_enabled).
+                            summary: format!("pkt seq={seq}"),
+                            reason: DropReason::CrashedRecipient,
+                        }));
+                    }
+                    return;
+                }
+                local.wire_arrival(from, to, seq);
+                let mut staged = std::mem::take(&mut local.delivery_buf);
+                for msg in staged.drain(..) {
+                    local.metrics.inc(builtin::MESSAGES_DELIVERED);
+                    if local.tracing {
+                        let at = local.now;
+                        // cmh-lint: allow(D7) — gated on the shard's cached tracing flag (= Trace::is_enabled).
+                        let summary = summarize(&msg);
+                        local.items.push(Item::Trace(TraceEvent::Deliver {
+                            at,
+                            from,
+                            to,
+                            summary,
+                        }));
+                    }
+                    let l = local.local_idx(to);
+                    let mut ctx = Context::for_shard(to, local);
+                    procs[l].on_message(&mut ctx, from, msg);
+                }
+                local.delivery_buf = staged;
+            }
+            SEv::WireAck { from, to, next } => {
+                // Transport state is stable storage: processed even while
+                // the sender is crashed.
+                local.ack_arrival(from, to, next);
+            }
+            SEv::Retransmit {
+                from,
+                to,
+                seq,
+                attempt,
+            } => {
+                local.retransmit_due(from, to, seq, attempt);
+            }
+        }
+    }
+}
+
+/// The barrier-phase owner of everything globally ordered: the latency and
+/// fault RNG streams, FIFO channel clocks, the global event sequence
+/// counter, the merged trace, and the global crash mirror.
+struct Sequencer {
+    now: SimTime,
+    seq: u64,
+    rng: DetRng,
+    latency: LatencyModel,
+    fifo: bool,
+    faults: Option<FaultState>,
+    /// FIFO channel clocks, keyed `(from, to)`. Sparse: the sequential
+    /// engine's dense `Vec<Vec<_>>` would cost O(N²) at 10⁶ nodes.
+    clocks: BTreeMap<(usize, usize), SimTime>,
+    metrics: Metrics,
+    trace: Trace,
+    /// Global crash mirror (consulted by the replayed send path and the
+    /// public accessor); authoritative flags live on the owning shard.
+    crashed: Vec<bool>,
+    halted: bool,
+    node_count: usize,
+    reliable: bool,
+}
+
+impl Sequencer {
+    fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.get(node.0).copied().unwrap_or(false)
+    }
+
+    fn set_crashed(&mut self, node: NodeId, down: bool) {
+        if self.crashed.len() <= node.0 {
+            self.crashed.resize(node.0 + 1, false);
+        }
+        self.crashed[node.0] = down;
+    }
+
+    fn clock_mut(&mut self, from: NodeId, to: NodeId) -> &mut SimTime {
+        self.clocks.entry((from.0, to.0)).or_insert(SimTime::ZERO)
+    }
+}
+
+/// The captured threading capability: a monomorphised [`par_pass1`]
+/// stored as a plain function pointer, so holding it imposes no `Send`
+/// bounds on the engine itself.
+pub(crate) type ParExec<M, P> = fn(&mut [Shard<M, P>], SimTime, usize);
+
+/// The sharded engine. Public API mirrors the sequential
+/// [`crate::sim::Simulation`]; `crate::sim` wraps both behind one type.
+pub(crate) struct ShardedSim<M, P> {
+    shards: Vec<Shard<M, P>>,
+    seqr: Sequencer,
+    started: bool,
+    /// Captured threading capability (`M: Send + P: Send` proven at build
+    /// time); `None` runs the parallel phase inline.
+    par_exec: Option<ParExec<M, P>>,
+    workers: usize,
+    /// `true` when the worker count was pinned by
+    /// [`crate::sim::SimBuilder::workers`]: threads then engage on every
+    /// eligible window, bypassing the backlog amortisation threshold
+    /// (tests use this to drive the threaded path on small configs).
+    forced_workers: bool,
+    /// The conservative lookahead window derived from the latency model
+    /// (currently informational: the stepper always uses the universally
+    /// safe one-tick window, since timers and backoffs bound events at
+    /// `now + 1` regardless of the channel-delay floor).
+    lookahead: u64,
+}
+
+/// `min(available cores, shard count)` worker threads for the parallel
+/// handler phase.
+pub(crate) fn worker_budget(shards: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(shards)
+}
+
+/// The threaded parallel phase: scoped workers advance disjoint shard
+/// chunks through the current window. Captured as a plain `fn` pointer by
+/// [`crate::sim::SimBuilder::build_mt`], where the `Send` bounds hold.
+pub(crate) fn par_pass1<M, P>(shards: &mut [Shard<M, P>], tick: SimTime, workers: usize)
+where
+    M: fmt::Debug + Clone + Send,
+    P: Process<M> + Send,
+{
+    let per = shards.len().div_ceil(workers.max(1));
+    std::thread::scope(|s| {
+        for chunk in shards.chunks_mut(per) {
+            s.spawn(move || {
+                for shard in chunk {
+                    if shard.next_key().map(|(at, _)| at) == Some(tick) {
+                        shard.pass1(tick, u64::MAX);
+                    }
+                }
+            });
+        }
+    });
+}
+
+impl<M: fmt::Debug + Clone, P: Process<M>> ShardedSim<M, P> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        nshards: usize,
+        seed: u64,
+        latency: LatencyModel,
+        fifo: bool,
+        tracing: bool,
+        faults: Option<FaultState>,
+        reliable: Option<ReliableConfig>,
+        par_exec: Option<ParExec<M, P>>,
+        workers: Option<usize>,
+    ) -> Self {
+        let nshards = nshards.max(1);
+        let rng = DetRng::seed_from_u64(seed);
+        let lookahead = latency.min_delay();
+        let shards = (0..nshards)
+            .map(|idx| Shard {
+                local: ShardLocal {
+                    idx,
+                    nshards,
+                    node_count: 0,
+                    now: SimTime::ZERO,
+                    queue: EventQueue::new(),
+                    metrics: Metrics::new(),
+                    crashed: Vec::new(),
+                    rel: reliable.map(ReliableState::new),
+                    timers: TimerSlab::new(),
+                    items: Vec::new(),
+                    marks: Vec::new(),
+                    delivery_buf: Vec::new(),
+                    rngs: Vec::new(),
+                    tracing,
+                    halted: false,
+                    events: 0,
+                },
+                procs: Vec::new(),
+            })
+            .collect();
+        ShardedSim {
+            shards,
+            seqr: Sequencer {
+                now: SimTime::ZERO,
+                seq: 0,
+                rng,
+                latency,
+                fifo,
+                faults,
+                clocks: BTreeMap::new(),
+                metrics: Metrics::new(),
+                trace: Trace::new(tracing),
+                crashed: Vec::new(),
+                halted: false,
+                node_count: 0,
+                reliable: reliable.is_some(),
+            },
+            started: false,
+            par_exec,
+            workers: workers
+                .map(|w| w.clamp(1, nshards))
+                .unwrap_or_else(|| worker_budget(nshards)),
+            forced_workers: workers.is_some(),
+            lookahead,
+        }
+    }
+
+    fn shard_of(&self, node: NodeId) -> usize {
+        node.0 % self.shards.len()
+    }
+
+    /// The derived conservative lookahead window, in ticks.
+    pub(crate) fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn add_node(&mut self, process: P) -> NodeId {
+        let id = NodeId(self.seqr.node_count);
+        self.seqr.node_count += 1;
+        let s = self.shard_of(id);
+        let stream = self.seqr.rng.fork(NODE_RNG_STREAM ^ id.0 as u64);
+        let shard = &mut self.shards[s];
+        shard.procs.push(process);
+        shard.local.rngs.push(stream);
+        for sh in &mut self.shards {
+            sh.local.node_count = self.seqr.node_count;
+        }
+        id
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.seqr.node_count
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.seqr.now
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.seqr.metrics
+    }
+
+    pub(crate) fn trace(&self) -> &Trace {
+        &self.seqr.trace
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &P {
+        self.try_node(id).expect("node id out of range")
+    }
+
+    pub(crate) fn try_node(&self, id: NodeId) -> Option<&P> {
+        if id.0 >= self.seqr.node_count {
+            return None;
+        }
+        let s = self.shard_of(id);
+        self.shards[s].procs.get(id.0 / self.shards.len())
+    }
+
+    pub(crate) fn is_crashed(&self, id: NodeId) -> bool {
+        self.seqr.is_crashed(id)
+    }
+
+    pub(crate) fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.local.queue.len()).sum()
+    }
+
+    /// Sum of per-shard scheduler high-water marks. An upper bound on the
+    /// global instantaneous peak (per-shard peaks need not coincide).
+    pub(crate) fn peak_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.local.queue.peak_depth()).sum()
+    }
+
+    pub(crate) fn scheduler_slots(&self) -> usize {
+        self.shards.iter().map(|s| s.local.queue.slot_count()).sum()
+    }
+
+    pub(crate) fn in_flight_messages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.local
+                    .queue
+                    .values()
+                    .filter(|k| {
+                        matches!(
+                            k,
+                            SEv::Deliver { .. } | SEv::Wire { .. } | SEv::Retransmit { .. }
+                        )
+                    })
+                    .count()
+            })
+            .sum()
+    }
+
+    fn min_shard(&self) -> Option<(usize, (SimTime, u64))> {
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some(key) = s.next_key() {
+                if best.map(|(_, b)| key < b).unwrap_or(true) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        best
+    }
+
+    pub(crate) fn next_event_at(&mut self) -> Option<SimTime> {
+        self.ensure_started();
+        self.min_shard().map(|(_, (at, _))| at)
+    }
+
+    pub(crate) fn peek_event(&mut self) -> Option<(SimTime, PendingEvent<'_, M>)> {
+        self.ensure_started();
+        let (i, _) = self.min_shard()?;
+        self.shards[i].local.queue.peek().map(|((at, _), kind)| {
+            let p = match kind {
+                SEv::Deliver { msg, .. } => PendingEvent::Deliver(msg),
+                SEv::Timer { tag, .. } => PendingEvent::Timer { tag: *tag },
+                SEv::Wire { .. } => PendingEvent::Wire,
+                SEv::Start(_)
+                | SEv::Crash(_)
+                | SEv::Restart(_)
+                | SEv::WireAck { .. }
+                | SEv::Retransmit { .. } => PendingEvent::Other,
+            };
+            (at, p)
+        })
+    }
+
+    pub(crate) fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
+    ) -> R {
+        self.ensure_started();
+        let s = self.shard_of(id);
+        let now = self.seqr.now;
+        let l = id.0 / self.shards.len();
+        let r = {
+            let shard = &mut self.shards[s];
+            shard.local.now = now;
+            debug_assert!(shard.local.items.is_empty() && shard.local.marks.is_empty());
+            shard.local.marks.push((u64::MAX, 0));
+            let mut ctx = Context::for_shard(id, &mut shard.local);
+            f(&mut shard.procs[l], &mut ctx)
+        };
+        // Injection replays immediately — the sequential engine executes
+        // driver side effects inline, so ours must too before returning.
+        self.barrier(now);
+        self.flush();
+        r
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.seqr.node_count {
+            self.push_ev(SimTime::ZERO, SEv::Start(NodeId(i)));
+        }
+        if let Some(f) = &self.seqr.faults {
+            let crashes = f.plan().crashes.clone();
+            for c in crashes {
+                self.push_ev(c.at, SEv::Crash(c.node));
+                if let Some(back) = c.restart_at {
+                    self.push_ev(back.max(c.at), SEv::Restart(c.node));
+                }
+            }
+        }
+    }
+
+    fn push_ev(&mut self, at: SimTime, ev: SEv<M>) {
+        let dst = match &ev {
+            SEv::Start(n) | SEv::Crash(n) | SEv::Restart(n) | SEv::Timer { node: n, .. } => *n,
+            SEv::Deliver { to, .. }
+            | SEv::Wire { to, .. }
+            | SEv::WireAck { to, .. }
+            | SEv::Retransmit { to, .. } => *to,
+        };
+        let s = dst.0 % self.shards.len();
+        let seq = self.seqr.seq;
+        self.seqr.seq += 1;
+        self.shards[s].local.queue.push((at, seq), ev);
+    }
+
+    /// Runs one window at `tick`: the parallel handler phase (threaded
+    /// when the capability and enough work are present), then the
+    /// sequential barrier replay. Returns events handled.
+    fn exec_window(&mut self, tick: SimTime, limit: u64) -> u64 {
+        let before: u64 = self.shards.iter().map(|s| s.local.events).sum();
+        // A window can't handle more events than are pending when it
+        // opens (all handler consequences land at later ticks), so a
+        // budget covering the whole backlog can never bind mid-window.
+        let unlimited = limit >= self.pending_events() as u64;
+        // Spawning the scoped workers costs tens of microseconds per
+        // window; a window of a handful of events is cheaper inline. The
+        // backlog is a free upper bound on the window size, so threads
+        // only engage when enough work *could* be present to amortise the
+        // spawn (unless the worker count was pinned explicitly, which is
+        // an opt-in to always thread). Inline and threaded execution are
+        // bit-identical, so this is purely a scheduling heuristic.
+        const PAR_WINDOW_THRESHOLD: usize = 4096;
+        let use_threads = unlimited
+            && self.workers > 1
+            && self.par_exec.is_some()
+            && (self.forced_workers || self.pending_events() >= PAR_WINDOW_THRESHOLD)
+            && self
+                .shards
+                .iter()
+                .filter(|s| s.next_key().map(|(at, _)| at) == Some(tick))
+                .count()
+                > 1;
+        if use_threads {
+            (self.par_exec.expect("checked above"))(&mut self.shards, tick, self.workers);
+        } else {
+            let mut remaining = limit;
+            for shard in &mut self.shards {
+                if remaining == 0 {
+                    break;
+                }
+                if shard.next_key().map(|(at, _)| at) == Some(tick) {
+                    let done = shard.pass1(tick, remaining);
+                    remaining = remaining.saturating_sub(done);
+                }
+            }
+        }
+        self.barrier(tick);
+        let after: u64 = self.shards.iter().map(|s| s.local.events).sum();
+        after - before
+    }
+
+    /// The barrier: merge the shards' window logs by originating event
+    /// seq and replay every deferred request in that canonical order.
+    fn barrier(&mut self, tick: SimTime) {
+        self.seqr.now = self.seqr.now.max(tick);
+        // Take the logs out so replay can borrow shards freely.
+        let mut logs: Vec<WindowLog<M>> = self
+            .shards
+            .iter_mut()
+            .map(|s| {
+                (
+                    std::mem::take(&mut s.local.items),
+                    std::mem::take(&mut s.local.marks),
+                )
+            })
+            .collect();
+        // K-way merge by originating event seq: `cursors[i]` is the next
+        // unreplayed event of shard i; its items span from its mark to the
+        // next mark (or the log end). Events are recorded in seq order per
+        // shard, so each log drains front to back.
+        let mut cursors = vec![0usize; logs.len()];
+        let mut iters: Vec<std::vec::IntoIter<Item<M>>> = logs
+            .iter_mut()
+            .map(|(items, _)| std::mem::take(items).into_iter())
+            .collect();
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, (_, marks)) in logs.iter().enumerate() {
+                if let Some(&(seq, _)) = marks.get(cursors[i]) {
+                    if best.map(|(_, b)| seq < b).unwrap_or(true) {
+                        best = Some((i, seq));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let marks = &logs[i].1;
+            let start = marks[cursors[i]].1 as usize;
+            let end = marks
+                .get(cursors[i] + 1)
+                .map(|&(_, s)| s as usize)
+                .unwrap_or(start + iters[i].len());
+            cursors[i] += 1;
+            for _ in start..end {
+                let item = iters[i].next().expect("marks index into items");
+                self.replay(item);
+            }
+        }
+        // Hand the drained vectors back so their capacity is reused.
+        for (shard, (_, mut marks)) in self.shards.iter_mut().zip(logs) {
+            marks.clear();
+            shard.local.marks = marks;
+        }
+        for shard in &mut self.shards {
+            if shard.local.halted {
+                self.seqr.halted = true;
+            }
+        }
+    }
+
+    fn replay(&mut self, item: Item<M>) {
+        match item {
+            Item::Trace(ev) => self.seqr.trace.push(ev),
+            Item::Req(req) => match req {
+                Req::Send { from, to, msg } => self.seq_send(from, to, msg),
+                Req::PushTimer {
+                    node,
+                    slot,
+                    gen,
+                    tag,
+                    delay,
+                } => {
+                    let s = self.shard_of(node);
+                    let state = self.shards[s]
+                        .local
+                        .timers
+                        .slots
+                        .get(slot as usize)
+                        .copied();
+                    match state {
+                        Some(TimerSlot::Pending {
+                            gen: g,
+                            cancelled: false,
+                        }) if g == gen => {
+                            let at = self.seqr.now + delay.max(1);
+                            let seq = self.seqr.seq;
+                            self.seqr.seq += 1;
+                            let entry = self.shards[s].local.queue.push(
+                                (at, seq),
+                                SEv::Timer {
+                                    node,
+                                    tag,
+                                    slot,
+                                    gen,
+                                },
+                            );
+                            self.shards[s].local.timers.slots[slot as usize] =
+                                TimerSlot::Armed { gen, entry };
+                        }
+                        Some(TimerSlot::Pending {
+                            gen: g,
+                            cancelled: true,
+                        }) if g == gen => {
+                            self.shards[s].local.timers.release(slot);
+                        }
+                        _ => {}
+                    }
+                }
+                Req::CancelTimer { shard, slot, gen } => {
+                    let local = &mut self.shards[shard].local;
+                    match local.timers.slots.get(slot as usize).copied() {
+                        Some(TimerSlot::Armed { gen: g, entry }) if g == gen => {
+                            local.queue.remove(entry);
+                            local.timers.release(slot);
+                        }
+                        Some(TimerSlot::Pending { gen: g, .. }) if g == gen => {
+                            local.timers.slots[slot as usize] = TimerSlot::Pending {
+                                gen,
+                                cancelled: true,
+                            };
+                        }
+                        _ => {}
+                    }
+                }
+                Req::SendAck { from, to, next } => self.seq_send_ack(from, to, next),
+                Req::Transmit { from, to, seq } => {
+                    let delay = self.seqr.latency.sample(&mut self.seqr.rng, from, to);
+                    self.seq_transmit_packet(from, to, seq, delay);
+                }
+                Req::Rearm {
+                    from,
+                    to,
+                    seq,
+                    attempt,
+                    backoff,
+                } => {
+                    let at = self.seqr.now + backoff;
+                    self.push_ev(
+                        at,
+                        SEv::Retransmit {
+                            from,
+                            to,
+                            seq,
+                            attempt,
+                        },
+                    );
+                }
+                Req::CrashFlip { node, down } => self.seqr.set_crashed(node, down),
+            },
+        }
+    }
+
+    // ---- barrier replay of the sequential engine's send paths ----
+
+    fn seq_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if self.seqr.is_crashed(from) {
+            self.seqr.metrics.inc(builtin::MESSAGES_DROPPED);
+            if let Some(summary) = self.seqr.trace.is_enabled().then(|| summarize(&msg)) {
+                let at = self.seqr.now;
+                self.seqr.trace.push(TraceEvent::Drop {
+                    at,
+                    from,
+                    to,
+                    summary,
+                    reason: DropReason::CrashedSender,
+                });
+            }
+            return;
+        }
+        if self.seqr.reliable {
+            self.seq_send_reliable(from, to, msg);
+        } else {
+            self.seq_send_raw(from, to, msg);
+        }
+    }
+
+    fn seq_send_raw(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let delay = self.seqr.latency.sample(&mut self.seqr.rng, from, to);
+        let fate = match &mut self.seqr.faults {
+            Some(f) => f.classify(self.seqr.now, from, to),
+            None => SendFate::clean(),
+        };
+        self.seqr.metrics.inc(builtin::MESSAGES_SENT);
+        let (duplicate, extra_delay) = match fate {
+            SendFate::Lost(reason) => {
+                self.seqr.metrics.inc(builtin::MESSAGES_DROPPED);
+                if let Some(summary) = self.seqr.trace.is_enabled().then(|| summarize(&msg)) {
+                    let at = self.seqr.now;
+                    self.seqr.trace.push(TraceEvent::Send {
+                        at,
+                        from,
+                        to,
+                        deliver_at: at + delay,
+                        summary: summary.clone(),
+                    });
+                    self.seqr.trace.push(TraceEvent::Drop {
+                        at,
+                        from,
+                        to,
+                        summary,
+                        reason,
+                    });
+                }
+                return;
+            }
+            SendFate::Deliver {
+                duplicate,
+                extra_delay,
+            } => (duplicate, extra_delay),
+        };
+        let deliver_at = if extra_delay > 0 {
+            self.seqr.now + delay + extra_delay
+        } else if self.seqr.fifo {
+            let now = self.seqr.now;
+            let clock = self.seqr.clock_mut(from, to);
+            let at = (*clock).max(now + delay);
+            *clock = at;
+            at
+        } else {
+            self.seqr.now + delay
+        };
+        if let Some(summary) = self.seqr.trace.is_enabled().then(|| summarize(&msg)) {
+            let at = self.seqr.now;
+            self.seqr.trace.push(TraceEvent::Send {
+                at,
+                from,
+                to,
+                deliver_at,
+                summary,
+            });
+        }
+        if duplicate {
+            let extra_copy_at =
+                self.seqr.now + self.seqr.latency.sample(&mut self.seqr.rng, from, to);
+            self.seqr.metrics.inc(builtin::MESSAGES_DUPLICATED);
+            if let Some(summary) = self.seqr.trace.is_enabled().then(|| summarize(&msg)) {
+                let at = self.seqr.now;
+                self.seqr.trace.push(TraceEvent::Duplicate {
+                    at,
+                    from,
+                    to,
+                    deliver_at: extra_copy_at,
+                    summary,
+                });
+            }
+            self.push_ev(
+                extra_copy_at,
+                SEv::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        self.push_ev(deliver_at, SEv::Deliver { from, to, msg });
+    }
+
+    fn seq_send_reliable(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.seqr.metrics.inc(builtin::MESSAGES_SENT);
+        let summary = self.seqr.trace.is_enabled().then(|| summarize(&msg));
+        let s = self.shard_of(to);
+        let (seq, rto) = {
+            let rel = self.shards[s]
+                .local
+                .rel
+                .as_mut()
+                .expect("reliable state present");
+            let chan = rel.senders.entry((from, to)).or_default();
+            let seq = chan.next_seq;
+            chan.next_seq += 1;
+            chan.buf.insert(seq, Some(msg));
+            (seq, rel.cfg.backoff(1))
+        };
+        let delay = self.seqr.latency.sample(&mut self.seqr.rng, from, to);
+        if let Some(summary) = summary {
+            let at = self.seqr.now;
+            self.seqr.trace.push(TraceEvent::Send {
+                at,
+                from,
+                to,
+                deliver_at: at + delay,
+                summary,
+            });
+        }
+        self.seq_transmit_packet(from, to, seq, delay);
+        let at = self.seqr.now + rto;
+        self.push_ev(
+            at,
+            SEv::Retransmit {
+                from,
+                to,
+                seq,
+                attempt: 1,
+            },
+        );
+    }
+
+    fn seq_transmit_packet(&mut self, from: NodeId, to: NodeId, seq: u64, delay: u64) {
+        let fate = match &mut self.seqr.faults {
+            Some(f) => f.classify(self.seqr.now, from, to),
+            None => SendFate::clean(),
+        };
+        match fate {
+            SendFate::Lost(reason) => {
+                self.seqr.metrics.inc(builtin::MESSAGES_DROPPED);
+                if let Some(summary) = self
+                    .seqr
+                    .trace
+                    .is_enabled()
+                    // cmh-lint: allow(D7) — gated on is_enabled just above; rustfmt splits the chain.
+                    .then(|| format!("pkt seq={seq}"))
+                {
+                    let at = self.seqr.now;
+                    self.seqr.trace.push(TraceEvent::Drop {
+                        at,
+                        from,
+                        to,
+                        summary,
+                        reason,
+                    });
+                }
+            }
+            SendFate::Deliver {
+                duplicate,
+                extra_delay,
+            } => {
+                let at = self.seqr.now + delay + extra_delay;
+                self.push_ev(at, SEv::Wire { from, to, seq });
+                if duplicate {
+                    let extra_copy_at =
+                        self.seqr.now + self.seqr.latency.sample(&mut self.seqr.rng, from, to);
+                    self.seqr.metrics.inc(builtin::MESSAGES_DUPLICATED);
+                    if let Some(summary) = self
+                        .seqr
+                        .trace
+                        .is_enabled()
+                        // cmh-lint: allow(D7) — gated on is_enabled just above; rustfmt splits the chain.
+                        .then(|| format!("pkt seq={seq}"))
+                    {
+                        let at = self.seqr.now;
+                        self.seqr.trace.push(TraceEvent::Duplicate {
+                            at,
+                            from,
+                            to,
+                            deliver_at: extra_copy_at,
+                            summary,
+                        });
+                    }
+                    self.push_ev(extra_copy_at, SEv::Wire { from, to, seq });
+                }
+            }
+        }
+    }
+
+    fn seq_send_ack(&mut self, from: NodeId, to: NodeId, next: u64) {
+        self.seqr.metrics.inc(builtin::ACKS_SENT);
+        let delay = self.seqr.latency.sample(&mut self.seqr.rng, to, from);
+        let fate = match &mut self.seqr.faults {
+            Some(f) => f.classify(self.seqr.now, to, from),
+            None => SendFate::clean(),
+        };
+        match fate {
+            SendFate::Lost(reason) => {
+                self.seqr.metrics.inc(builtin::MESSAGES_DROPPED);
+                if let Some(summary) = self
+                    .seqr
+                    .trace
+                    .is_enabled()
+                    // cmh-lint: allow(D7) — gated on is_enabled just above; rustfmt splits the chain.
+                    .then(|| format!("ack next={next}"))
+                {
+                    let at = self.seqr.now;
+                    self.seqr.trace.push(TraceEvent::Drop {
+                        at,
+                        from: to,
+                        to: from,
+                        summary,
+                        reason,
+                    });
+                }
+            }
+            SendFate::Deliver {
+                duplicate,
+                extra_delay,
+            } => {
+                if self.seqr.trace.is_enabled() {
+                    let at = self.seqr.now;
+                    self.seqr.trace.push(TraceEvent::Ack {
+                        at,
+                        from: to,
+                        to: from,
+                        next,
+                    });
+                }
+                let at = self.seqr.now + delay + extra_delay;
+                self.push_ev(at, SEv::WireAck { from, to, next });
+                if duplicate {
+                    let extra_copy_at =
+                        self.seqr.now + self.seqr.latency.sample(&mut self.seqr.rng, to, from);
+                    self.seqr.metrics.inc(builtin::MESSAGES_DUPLICATED);
+                    self.push_ev(extra_copy_at, SEv::WireAck { from, to, next });
+                }
+            }
+        }
+    }
+
+    // ---- run loop ----
+
+    /// Merge shard-local metric counters into the sequencer's aggregate
+    /// (drained so repeated flushes never double-count) and fold halt
+    /// flags. Called at the end of every public driving call, so the
+    /// public accessors are exact at those boundaries.
+    fn flush(&mut self) {
+        for shard in &mut self.shards {
+            self.seqr.metrics.merge(&shard.local.metrics);
+            shard.local.metrics.clear();
+            if shard.local.halted {
+                self.seqr.halted = true;
+            }
+        }
+    }
+
+    fn reset_run_counters(&mut self) {
+        for s in &mut self.shards {
+            s.local.events = 0;
+        }
+    }
+
+    /// Processes a single event (the minimum `(time, seq)` across shards)
+    /// through a degenerate one-event window, exactly matching the
+    /// sequential engine's per-event granularity for single-stepping
+    /// harnesses.
+    pub(crate) fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some((i, (at, _))) = self.min_shard() else {
+            return false;
+        };
+        self.reset_run_counters();
+        self.shards[i].pass1(at, 1);
+        self.barrier(at);
+        self.flush();
+        true
+    }
+
+    pub(crate) fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
+        self.ensure_started();
+        self.reset_run_counters();
+        let mut outcome = RunOutcome::default();
+        loop {
+            if self.seqr.halted {
+                outcome.halted = true;
+                break;
+            }
+            if outcome.events >= max_events {
+                break;
+            }
+            let Some((_, (at, _))) = self.min_shard() else {
+                outcome.quiescent = true;
+                break;
+            };
+            outcome.events += self.exec_window(at, max_events - outcome.events);
+        }
+        outcome.halted |= self.seqr.halted;
+        self.flush();
+        outcome
+    }
+
+    pub(crate) fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.ensure_started();
+        self.reset_run_counters();
+        let mut outcome = RunOutcome::default();
+        loop {
+            if self.seqr.halted {
+                outcome.halted = true;
+                break;
+            }
+            match self.min_shard() {
+                None => {
+                    self.seqr.now = self.seqr.now.max(deadline);
+                    outcome.quiescent = true;
+                    break;
+                }
+                Some((_, (at, _))) if at > deadline => {
+                    self.seqr.now = deadline;
+                    break;
+                }
+                Some((_, (at, _))) => {
+                    outcome.events += self.exec_window(at, u64::MAX);
+                }
+            }
+        }
+        outcome.halted |= self.seqr.halted;
+        self.flush();
+        outcome
+    }
+
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.shards.iter().all(|s| s.local.queue.is_empty())
+    }
+
+    pub(crate) fn is_halted(&self) -> bool {
+        self.seqr.halted
+    }
+}
+
+impl<M, P> fmt::Debug for ShardedSim<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("now", &self.seqr.now)
+            .field("nodes", &self.seqr.node_count)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -54,6 +54,7 @@
 //! assert!(outcome.quiescent);
 //! ```
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -98,7 +99,7 @@ impl fmt::Display for NodeId {
 /// the queue in `O(log n)` — there is no tombstone set to grow — and a
 /// stale id (timer already fired or cancelled) is a safe no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TimerId(u64);
+pub struct TimerId(pub(crate) u64);
 
 /// A simulated process.
 ///
@@ -197,19 +198,45 @@ pub enum PendingEvent<'a, M> {
 /// [`Simulation::with_node`].
 pub struct Context<'a, M> {
     node: NodeId,
-    core: &'a mut Core<M>,
+    inner: CtxInner<'a, M>,
+}
+
+/// The engine behind a [`Context`]: the sequential core, or one shard of
+/// the sharded core (which defers globally ordered side effects to its
+/// window barrier; see [`crate::shard`]).
+enum CtxInner<'a, M> {
+    Single(&'a mut Core<M>),
+    Shard(&'a mut crate::shard::ShardLocal<M>),
 }
 
 impl<M> fmt::Debug for Context<'_, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let now = match &self.inner {
+            CtxInner::Single(core) => core.now,
+            CtxInner::Shard(local) => local.ctx_now(),
+        };
         f.debug_struct("Context")
             .field("node", &self.node)
-            .field("now", &self.core.now)
+            .field("now", &now)
             .finish_non_exhaustive()
     }
 }
 
 impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
+    fn for_core(node: NodeId, core: &'a mut Core<M>) -> Self {
+        Context {
+            node,
+            inner: CtxInner::Single(core),
+        }
+    }
+
+    pub(crate) fn for_shard(node: NodeId, local: &'a mut crate::shard::ShardLocal<M>) -> Self {
+        Context {
+            node,
+            inner: CtxInner::Shard(local),
+        }
+    }
+
     /// The id of the process handling the current event.
     pub fn id(&self) -> NodeId {
         self.node
@@ -217,23 +244,35 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        match &self.inner {
+            CtxInner::Single(core) => core.now,
+            CtxInner::Shard(local) => local.ctx_now(),
+        }
     }
 
     /// Number of nodes in the simulation.
     pub fn node_count(&self) -> usize {
-        self.core.node_count
+        match &self.inner {
+            CtxInner::Single(core) => core.node_count,
+            CtxInner::Shard(local) => local.ctx_node_count(),
+        }
     }
 
     /// Sends `msg` to `to`; it will be delivered after a latency-model delay,
     /// in FIFO order with respect to other messages on the same channel.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.core.send(self.node, to, msg);
+        match &mut self.inner {
+            CtxInner::Single(core) => core.send(self.node, to, msg),
+            CtxInner::Shard(local) => local.ctx_send(self.node, to, msg),
+        }
     }
 
     /// Schedules `on_timer` to run after `delay` ticks with the given tag.
     pub fn set_timer(&mut self, delay: u64, tag: u64) -> TimerId {
-        self.core.set_timer(self.node, delay, tag)
+        match &mut self.inner {
+            CtxInner::Single(core) => core.set_timer(self.node, delay, tag),
+            CtxInner::Shard(local) => local.ctx_set_timer(self.node, delay, tag),
+        }
     }
 
     /// Cancels a pending timer. Cancelling an already-fired or unknown timer
@@ -241,50 +280,90 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
     ///
     /// The timer event is removed from the scheduler immediately: a
     /// cancelled timer neither occupies queue memory nor counts as an
-    /// event when its due time passes.
+    /// event when its due time passes. (On the sharded engine a cancel
+    /// addressed to *another* shard's timer takes effect at the current
+    /// window barrier — still strictly before the timer can fire, since
+    /// armed timers are always at least one tick in the future.)
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.queue.remove(EntryId::from_raw(id.0));
+        match &mut self.inner {
+            CtxInner::Single(core) => {
+                core.queue.remove(EntryId::from_raw(id.0));
+            }
+            CtxInner::Shard(local) => local.ctx_cancel_timer(id),
+        }
     }
 
     /// Increments the metric counter named `kind`.
     pub fn count(&mut self, kind: &str) {
-        self.core.metrics.inc(kind);
+        match &mut self.inner {
+            CtxInner::Single(core) => core.metrics.inc(kind),
+            CtxInner::Shard(local) => local.ctx_count(kind),
+        }
     }
 
     /// Adds `n` to the metric counter named `kind`.
     pub fn count_n(&mut self, kind: &str, n: u64) {
-        self.core.metrics.add(kind, n);
+        match &mut self.inner {
+            CtxInner::Single(core) => core.metrics.add(kind, n),
+            CtxInner::Shard(local) => local.ctx_count_n(kind, n),
+        }
     }
 
     /// True when the event trace is recording. Callers building annotation
     /// strings (e.g. `ctx.note(format!(...))`) should skip the formatting
     /// entirely when this is off, so a disabled trace allocates nothing.
     pub fn tracing(&self) -> bool {
-        self.core.trace.is_enabled()
+        match &self.inner {
+            CtxInner::Single(core) => core.trace.is_enabled(),
+            CtxInner::Shard(local) => local.ctx_tracing(),
+        }
     }
 
     /// Records a free-form trace annotation (no-op when tracing is off).
     pub fn note(&mut self, text: impl Into<String>) {
-        if !self.core.trace.is_enabled() {
-            return;
+        match &mut self.inner {
+            CtxInner::Single(core) => {
+                if !core.trace.is_enabled() {
+                    return;
+                }
+                let at = core.now;
+                let node = self.node;
+                core.trace.push(TraceEvent::Note {
+                    at,
+                    node,
+                    text: text.into(),
+                });
+            }
+            CtxInner::Shard(local) => {
+                if local.ctx_tracing() {
+                    local.ctx_note(self.node, text.into());
+                }
+            }
         }
-        let at = self.core.now;
-        let node = self.node;
-        self.core.trace.push(TraceEvent::Note {
-            at,
-            node,
-            text: text.into(),
-        });
     }
 
-    /// Deterministic random source for this simulation.
+    /// Deterministic random source.
+    ///
+    /// On the sequential engine this is the simulation's single global
+    /// stream. On the sharded engine each node draws from its own
+    /// substream forked from the seed — stable across shard and thread
+    /// counts, but *not* the same sequence as the global stream, so
+    /// processes whose digests are pinned against the sequential engine
+    /// should not call this when running sharded (see DESIGN §12).
     pub fn rng(&mut self) -> &mut DetRng {
-        &mut self.core.rng
+        match &mut self.inner {
+            CtxInner::Single(core) => &mut core.rng,
+            CtxInner::Shard(local) => local.ctx_rng(self.node),
+        }
     }
 
-    /// Stops the simulation after the current event completes.
+    /// Stops the simulation after the current event completes (on the
+    /// sharded engine: after the current window's barrier).
     pub fn halt(&mut self) {
-        self.core.halted = true;
+        match &mut self.inner {
+            CtxInner::Single(core) => core.halted = true,
+            CtxInner::Shard(local) => local.ctx_halt(),
+        }
     }
 }
 
@@ -292,9 +371,12 @@ struct Core<M> {
     now: SimTime,
     queue: EventQueue<EventKind<M>>,
     seq: u64,
-    /// Per-channel FIFO clocks, indexed `[from][to]` (grown on demand) —
-    /// two array lookups on the send hot path instead of a hashed probe.
-    channel_clock: Vec<Vec<SimTime>>,
+    /// Per-channel FIFO clocks, keyed `(from, to)` sparsely. A dense
+    /// `[from][to]` table is two array lookups but O(N²) memory — at
+    /// 10⁵+ nodes (the `exp_scale` sweep) the table, not the event
+    /// queue, dominated the whole process. Channels actually used are
+    /// bounded by the traffic, so the sorted map stays small and cached.
+    channel_clock: BTreeMap<(usize, usize), SimTime>,
     latency: LatencyModel,
     rng: DetRng,
     metrics: Metrics,
@@ -336,14 +418,9 @@ impl<M: fmt::Debug + Clone> Core<M> {
     }
 
     fn channel_clock_mut(&mut self, from: NodeId, to: NodeId) -> &mut SimTime {
-        if self.channel_clock.len() <= from.0 {
-            self.channel_clock.resize_with(from.0 + 1, Vec::new);
-        }
-        let row = &mut self.channel_clock[from.0];
-        if row.len() <= to.0 {
-            row.resize(to.0 + 1, SimTime::ZERO);
-        }
-        &mut row[to.0]
+        self.channel_clock
+            .entry((from.0, to.0))
+            .or_insert(SimTime::ZERO)
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
@@ -733,7 +810,7 @@ impl<M: fmt::Debug + Clone> Core<M> {
     }
 }
 
-fn summarize<M: fmt::Debug>(msg: &M) -> String {
+pub(crate) fn summarize<M: fmt::Debug>(msg: &M) -> String {
     // cmh-lint: allow(D7) — the one summary constructor; every caller gates on Trace::is_enabled.
     let mut s = format!("{msg:?}");
     if s.len() > 160 {
@@ -763,11 +840,14 @@ pub struct SimBuilder {
     fifo: bool,
     faults: FaultPlan,
     reliable: Option<ReliableConfig>,
+    shards: usize,
+    workers: Option<usize>,
 }
 
 impl SimBuilder {
     /// Starts a builder with default latency (uniform 1..=10), seed 0,
-    /// tracing off, FIFO channels on, no faults and no reliable layer.
+    /// tracing off, FIFO channels on, no faults, no reliable layer, and a
+    /// single shard (the sequential engine).
     pub fn new() -> Self {
         SimBuilder {
             latency: LatencyModel::default(),
@@ -776,7 +856,43 @@ impl SimBuilder {
             fifo: true,
             faults: FaultPlan::default(),
             reliable: None,
+            shards: 1,
+            workers: None,
         }
+    }
+
+    /// Partitions the event loop into `shards` shards (node `i` lives on
+    /// shard `i mod shards`), stepped under the conservative-window
+    /// protocol of [`crate::shard`]. `1` (the default) selects the
+    /// sequential engine. Observable behaviour is bit-identical for any
+    /// value; multi-threaded *execution* of the shards additionally
+    /// requires [`SimBuilder::build_mt`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Pins the worker-thread count for the sharded engine's parallel
+    /// handler phase (clamped to `1..=shards`). The default is
+    /// `min(available cores, shards)`, with threads engaging only on
+    /// windows whose backlog amortises the spawn cost; pinning a count is
+    /// an opt-in to thread every eligible window — results are
+    /// bit-identical either way, so this is only a scheduling knob (and
+    /// the way tests force the threaded path on small configurations).
+    /// No effect on the sequential engine or [`SimBuilder::build`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Reads the shard count from the `CMH_SHARDS` environment variable
+    /// (unset, empty, `0` or `1` mean one shard — the sequential engine).
+    pub fn shards_from_env(self) -> Self {
+        let shards = std::env::var("CMH_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        self.shards(shards)
     }
 
     /// Enables or disables per-channel FIFO delivery.
@@ -830,30 +946,72 @@ impl SimBuilder {
 
     /// Builds an empty simulation; add processes with
     /// [`Simulation::add_node`].
+    ///
+    /// With `shards(s > 1)` the sharded engine is selected, but its
+    /// parallel handler phase runs inline (this signature cannot prove
+    /// `M`/`P` are `Send`); use [`SimBuilder::build_mt`] to capture the
+    /// threading capability. Results are identical either way.
     pub fn build<M: fmt::Debug + Clone, P: Process<M>>(self) -> Simulation<M, P> {
+        self.build_inner(None)
+    }
+
+    /// Like [`SimBuilder::build`], but additionally captures the
+    /// multi-threading capability: with `shards(s > 1)`, windows with work
+    /// on several shards are executed by scoped worker threads. The `Send`
+    /// bounds are only needed here — the proof is stored as a plain
+    /// function pointer, so the rest of the API is bound-free.
+    pub fn build_mt<M, P>(self) -> Simulation<M, P>
+    where
+        M: fmt::Debug + Clone + Send,
+        P: Process<M> + Send,
+    {
+        self.build_inner(Some(crate::shard::par_pass1::<M, P>))
+    }
+
+    fn build_inner<M: fmt::Debug + Clone, P: Process<M>>(
+        self,
+        par: Option<crate::shard::ParExec<M, P>>,
+    ) -> Simulation<M, P> {
         let rng = DetRng::seed_from_u64(self.seed);
         let faults = (!self.faults.is_noop())
             .then(|| FaultState::new(self.faults.clone(), rng.fork(FAULT_RNG_STREAM)));
+        if self.shards > 1 {
+            return Simulation {
+                inner: SimInner::Sharded(crate::shard::ShardedSim::new(
+                    self.shards,
+                    self.seed,
+                    self.latency,
+                    self.fifo,
+                    self.trace,
+                    faults,
+                    self.reliable,
+                    par,
+                    self.workers,
+                )),
+            };
+        }
         Simulation {
-            core: Core {
-                now: SimTime::ZERO,
-                queue: EventQueue::new(),
-                seq: 0,
-                channel_clock: Vec::new(),
-                latency: self.latency,
-                rng,
-                metrics: Metrics::new(),
-                trace: Trace::new(self.trace),
-                halted: false,
-                node_count: 0,
-                fifo: self.fifo,
-                faults,
-                crashed: Vec::new(),
-                rel: self.reliable.map(ReliableState::new),
-                delivery_buf: Vec::new(),
-            },
-            procs: Vec::new(),
-            started: false,
+            inner: SimInner::Single(SingleSim {
+                core: Core {
+                    now: SimTime::ZERO,
+                    queue: EventQueue::new(),
+                    seq: 0,
+                    channel_clock: BTreeMap::new(),
+                    latency: self.latency,
+                    rng,
+                    metrics: Metrics::new(),
+                    trace: Trace::new(self.trace),
+                    halted: false,
+                    node_count: 0,
+                    fifo: self.fifo,
+                    faults,
+                    crashed: Vec::new(),
+                    rel: self.reliable.map(ReliableState::new),
+                    delivery_buf: Vec::new(),
+                },
+                procs: Vec::new(),
+                started: false,
+            }),
         }
     }
 }
@@ -866,7 +1024,24 @@ impl Default for SimBuilder {
 
 /// A deterministic discrete-event simulation over processes of type `P`
 /// exchanging messages of type `M`.
+///
+/// Backed by one of two engines chosen at build time
+/// ([`SimBuilder::shards`]): the sequential core, or the sharded
+/// conservative-window core (see [`crate::shard`]). Both produce
+/// bit-identical observable behaviour for processes that do not draw from
+/// [`Context::rng`] inside handlers; `shards(1)` *is* the sequential core.
 pub struct Simulation<M, P> {
+    inner: SimInner<M, P>,
+}
+
+enum SimInner<M, P> {
+    Single(SingleSim<M, P>),
+    Sharded(crate::shard::ShardedSim<M, P>),
+}
+
+/// The sequential engine: one global event queue, processes in one dense
+/// vector. This is the reference semantics the sharded engine replays.
+struct SingleSim<M, P> {
     core: Core<M>,
     procs: Vec<P>,
     started: bool,
@@ -874,15 +1049,19 @@ pub struct Simulation<M, P> {
 
 impl<M, P> fmt::Debug for Simulation<M, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Simulation")
-            .field("now", &self.core.now)
-            .field("nodes", &self.procs.len())
-            .field("pending_events", &self.core.queue.len())
-            .finish_non_exhaustive()
+        match &self.inner {
+            SimInner::Single(s) => f
+                .debug_struct("Simulation")
+                .field("now", &s.core.now)
+                .field("nodes", &s.procs.len())
+                .field("pending_events", &s.core.queue.len())
+                .finish_non_exhaustive(),
+            SimInner::Sharded(s) => s.fmt(f),
+        }
     }
 }
 
-impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
+impl<M: fmt::Debug + Clone, P: Process<M>> SingleSim<M, P> {
     /// Adds a process and returns its id (ids are dense, starting at 0).
     pub fn add_node(&mut self, process: P) -> NodeId {
         let id = NodeId(self.procs.len());
@@ -1013,24 +1192,8 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
         f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
     ) -> R {
         self.ensure_started();
-        let mut ctx = Context {
-            node: id,
-            core: &mut self.core,
-        };
+        let mut ctx = Context::for_core(id, &mut self.core);
         f(&mut self.procs[id.0], &mut ctx)
-    }
-
-    /// Like [`Simulation::with_node`] but returns `None` instead of
-    /// panicking when `id` is out of range.
-    pub fn try_with_node<R>(
-        &mut self,
-        id: NodeId,
-        f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
-    ) -> Option<R> {
-        if id.0 >= self.procs.len() {
-            return None;
-        }
-        Some(self.with_node(id, f))
     }
 
     fn ensure_started(&mut self) {
@@ -1065,10 +1228,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
         self.core.metrics.inc(builtin::EVENTS);
         match kind {
             EventKind::Start(node) => {
-                let mut ctx = Context {
-                    node,
-                    core: &mut self.core,
-                };
+                let mut ctx = Context::for_core(node, &mut self.core);
                 self.procs[node.0].on_start(&mut ctx);
             }
             EventKind::Deliver { from, to, msg } => {
@@ -1101,10 +1261,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                         summary,
                     });
                 }
-                let mut ctx = Context {
-                    node: to,
-                    core: &mut self.core,
-                };
+                let mut ctx = Context::for_core(to, &mut self.core);
                 self.procs[to.0].on_message(&mut ctx, from, msg);
             }
             EventKind::Timer { node, tag } => {
@@ -1122,10 +1279,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                 // returned for this timer (generations only change on
                 // slot reuse), so the callback sees a matching id.
                 let id = TimerId(entry.raw());
-                let mut ctx = Context {
-                    node,
-                    core: &mut self.core,
-                };
+                let mut ctx = Context::for_core(node, &mut self.core);
                 self.procs[node.0].on_timer(&mut ctx, id, tag);
             }
             EventKind::Crash(node) => {
@@ -1140,10 +1294,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                     self.core.metrics.inc(builtin::RESTARTS);
                     let at = self.core.now;
                     self.core.trace.push(TraceEvent::Restart { at, node });
-                    let mut ctx = Context {
-                        node,
-                        core: &mut self.core,
-                    };
+                    let mut ctx = Context::for_core(node, &mut self.core);
                     self.procs[node.0].on_restart(&mut ctx);
                 }
             }
@@ -1185,10 +1336,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
                             summary,
                         });
                     }
-                    let mut ctx = Context {
-                        node: to,
-                        core: &mut self.core,
-                    };
+                    let mut ctx = Context::for_core(to, &mut self.core);
                     self.procs[to.0].on_message(&mut ctx, from, msg);
                 }
                 self.core.delivery_buf = staged;
@@ -1269,6 +1417,234 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
     /// True if a process requested a halt.
     pub fn is_halted(&self) -> bool {
         self.core.halted
+    }
+}
+
+impl<M: fmt::Debug + Clone, P: Process<M>> Simulation<M, P> {
+    /// Adds a process and returns its id (ids are dense, starting at 0).
+    pub fn add_node(&mut self, process: P) -> NodeId {
+        match &mut self.inner {
+            SimInner::Single(s) => s.add_node(process),
+            SimInner::Sharded(s) => s.add_node(process),
+        }
+    }
+
+    /// Number of processes.
+    pub fn node_count(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(s) => s.node_count(),
+            SimInner::Sharded(s) => s.node_count(),
+        }
+    }
+
+    /// Number of shards the event loop is partitioned into (1 on the
+    /// sequential engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(_) => 1,
+            SimInner::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// The conservative lookahead window derived from the latency model
+    /// (its [`LatencyModel::min_delay`]), in ticks. Always at least 1.
+    pub fn lookahead(&self) -> u64 {
+        match &self.inner {
+            SimInner::Single(s) => s.core.latency.min_delay(),
+            SimInner::Sharded(s) => s.lookahead(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            SimInner::Single(s) => s.now(),
+            SimInner::Sharded(s) => s.now(),
+        }
+    }
+
+    /// Accumulated metrics for this run.
+    pub fn metrics(&self) -> &Metrics {
+        match &self.inner {
+            SimInner::Single(s) => s.metrics(),
+            SimInner::Sharded(s) => s.metrics(),
+        }
+    }
+
+    /// The event trace (empty unless tracing was enabled at build time).
+    pub fn trace(&self) -> &Trace {
+        match &self.inner {
+            SimInner::Single(s) => s.trace(),
+            SimInner::Sharded(s) => s.trace(),
+        }
+    }
+
+    /// Immutable access to a process's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &P {
+        match &self.inner {
+            SimInner::Single(s) => s.node(id),
+            SimInner::Sharded(s) => s.node(id),
+        }
+    }
+
+    /// Immutable access to a process's state, or `None` if `id` is out of
+    /// range. The non-panicking sibling of [`Simulation::node`], for
+    /// drivers that probe nodes speculatively.
+    pub fn try_node(&self, id: NodeId) -> Option<&P> {
+        match &self.inner {
+            SimInner::Single(s) => s.try_node(id),
+            SimInner::Sharded(s) => s.try_node(id),
+        }
+    }
+
+    /// True if the fault plan currently has `id` crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        match &self.inner {
+            SimInner::Single(s) => s.is_crashed(id),
+            SimInner::Sharded(s) => s.is_crashed(id),
+        }
+    }
+
+    /// Number of events currently pending in the scheduler (summed across
+    /// shards on the sharded engine).
+    pub fn pending_events(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(s) => s.pending_events(),
+            SimInner::Sharded(s) => s.pending_events(),
+        }
+    }
+
+    /// Largest number of simultaneously pending events observed so far —
+    /// the scheduler's high-water mark, reported by the bench harness. On
+    /// the sharded engine this is the sum of per-shard high-water marks,
+    /// an upper bound on the global instantaneous peak.
+    pub fn peak_queue_depth(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(s) => s.peak_queue_depth(),
+            SimInner::Sharded(s) => s.peak_queue_depth(),
+        }
+    }
+
+    /// Number of message-bearing events currently scheduled: raw
+    /// deliveries, reliable-layer data packets, and pending retransmission
+    /// checks (which can regenerate lost packets). Timers, acks and
+    /// fault-plan markers are excluded. Zero means no protocol message can
+    /// still arrive — state can only change through timers from here on,
+    /// which is the quiescence signal liveness audits build on.
+    pub fn in_flight_messages(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(s) => s.in_flight_messages(),
+            SimInner::Sharded(s) => s.in_flight_messages(),
+        }
+    }
+
+    /// Virtual time of the earliest scheduled event, if any. Drivers that
+    /// single-step with [`Simulation::step`] use this to honour a deadline
+    /// the way [`Simulation::run_until`] does.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        match &mut self.inner {
+            SimInner::Single(s) => s.next_event_at(),
+            SimInner::Sharded(s) => s.next_event_at(),
+        }
+    }
+
+    /// Classifies the earliest scheduled event without popping it, for
+    /// harnesses that single-step and need to know whether the upcoming
+    /// event can matter to them (e.g. snapshot state only before events
+    /// that can produce a declaration).
+    pub fn peek_event(&mut self) -> Option<(SimTime, PendingEvent<'_, M>)> {
+        match &mut self.inner {
+            SimInner::Single(s) => s.peek_event(),
+            SimInner::Sharded(s) => s.peek_event(),
+        }
+    }
+
+    /// Number of scheduler slab slots ever allocated (summed across shards
+    /// on the sharded engine). Bounded by the peak queue depth (slots are
+    /// recycled), *not* by events processed — the memory-bound regression
+    /// tests assert on this.
+    pub fn scheduler_slots(&self) -> usize {
+        match &self.inner {
+            SimInner::Single(s) => s.scheduler_slots(),
+            SimInner::Sharded(s) => s.scheduler_slots(),
+        }
+    }
+
+    /// Runs `f` against a process with a live [`Context`], at the current
+    /// virtual time. This is how drivers inject work (e.g. "start a
+    /// transaction now") without a fake network message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
+    ) -> R {
+        match &mut self.inner {
+            SimInner::Single(s) => s.with_node(id, f),
+            SimInner::Sharded(s) => s.with_node(id, f),
+        }
+    }
+
+    /// Like [`Simulation::with_node`] but returns `None` instead of
+    /// panicking when `id` is out of range.
+    pub fn try_with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
+    ) -> Option<R> {
+        if id.0 >= self.node_count() {
+            return None;
+        }
+        Some(self.with_node(id, f))
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match &mut self.inner {
+            SimInner::Single(s) => s.step(),
+            SimInner::Sharded(s) => s.step(),
+        }
+    }
+
+    /// Runs until the queue drains, a process halts, or `max_events` events
+    /// have been processed (a liveness backstop for buggy protocols).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> RunOutcome {
+        match &mut self.inner {
+            SimInner::Single(s) => s.run_to_quiescence(max_events),
+            SimInner::Sharded(s) => s.run_to_quiescence(max_events),
+        }
+    }
+
+    /// Runs until virtual time exceeds `deadline`, the queue drains, or a
+    /// process halts. Events scheduled at exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        match &mut self.inner {
+            SimInner::Single(s) => s.run_until(deadline),
+            SimInner::Sharded(s) => s.run_until(deadline),
+        }
+    }
+
+    /// True if no events remain.
+    pub fn is_quiescent(&self) -> bool {
+        match &self.inner {
+            SimInner::Single(s) => s.is_quiescent(),
+            SimInner::Sharded(s) => s.is_quiescent(),
+        }
+    }
+
+    /// True if a process requested a halt.
+    pub fn is_halted(&self) -> bool {
+        match &self.inner {
+            SimInner::Single(s) => s.is_halted(),
+            SimInner::Sharded(s) => s.is_halted(),
+        }
     }
 }
 

@@ -98,7 +98,9 @@ impl Rule {
             Rule::D1 => "randomized-hash collection (HashMap/HashSet) in deterministic code",
             Rule::D2 => "wall-clock read (Instant/SystemTime) outside annotated real-time code",
             Rule::D3 => "unseeded randomness (thread_rng/OS entropy/RandomState)",
-            Rule::D4 => "thread spawn/parallelism outside cmh_bench::sweep",
+            Rule::D4 => {
+                "thread spawn/parallelism outside cmh_bench::sweep and the sharded sim stepper"
+            }
             Rule::D5 => "todo!/unimplemented!/dbg! in non-test code",
             Rule::D6 => "crate root missing #![forbid(unsafe_code)] / #![warn(missing_docs)]",
             Rule::D7 => "per-message summary not gated on Trace::is_enabled (allocates on the hot message path)",

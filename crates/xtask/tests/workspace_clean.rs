@@ -44,6 +44,7 @@ fn workspace_is_lint_clean_with_exactly_the_audited_exceptions() {
         ("crates/bench/src/bin/exp_cycle_latency.rs", "D2", true),
         ("crates/bench/src/bin/exp_faults.rs", "D2", true),
         ("crates/bench/src/bin/exp_probe_bounds.rs", "D2", true),
+        ("crates/bench/src/bin/exp_scale.rs", "D2", true),
         ("crates/bench/src/bin/exp_soundness.rs", "D2", true),
         // The explicitly annotated real-time block: the live runtime is
         // wall-clock multi-threaded by design (never used by experiments).
@@ -55,6 +56,14 @@ fn workspace_is_lint_clean_with_exactly_the_audited_exceptions() {
         ("crates/simnet/src/sim.rs", "D7", false),
         // Sanctioned cross-run parallelism pool driven by cmh_bench::sweep.
         ("crates/simnet/src/batch.rs", "D4", true),
+        // The sharded conservative-window stepper's parallel handler
+        // phase (DESIGN §12): scoped workers over disjoint shard chunks,
+        // with all observable ordering fixed by the sequential barrier
+        // merge — the one sanctioned *intra-simulation* parallelism site.
+        ("crates/simnet/src/shard.rs", "D4", true),
+        // Sequencer packet/ack trace summaries: gated on Trace::is_enabled
+        // in the preceding chain link (rustfmt splits the one-line idiom).
+        ("crates/simnet/src/shard.rs", "D7", false),
         // Pins that parallel sweeps are bit-identical to serial ones.
         ("tests/parallel_sweep.rs", "D4", false),
         // The two grant-sweep entry points D8 exists to protect: the

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Quick-profile benchmark smoke run for CI: executes the two instrumented
+# Quick-profile benchmark smoke run for CI: executes the instrumented
 # experiment binaries with reduced seed counts (CMH_BENCH_QUICK=1) and
-# parallel sweeps on, then assembles target/experiments/BENCH_sim.json.
+# parallel sweeps on, then assembles target/experiments/BENCH_smoke.json.
 # Catches harness regressions (missing records, malformed JSON, missing
 # per-phase wall-clock columns, broken parallel path) without the full
-# experiment wall clock. Also runs the allocation-regression test in
-# release so a drift in the message path's pinned per-message allocation
-# counts fails CI here, next to the throughput records it would corrupt.
+# experiment wall clock — and without clobbering BENCH_sim.json, which is
+# reserved for the full scripts/run_experiments.sh sweep. Also runs the
+# allocation-regression test in release so a drift in the message path's
+# pinned per-message allocation counts fails CI here, next to the
+# throughput records it would corrupt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="target/experiments"
@@ -18,12 +20,18 @@ export CMH_PAR_SEEDS=1
 echo "== alloc regression (release) =="
 cargo test --quiet --release -p simnet --test alloc_regression
 echo
-for b in exp_probe_bounds exp_faults; do
+for b in exp_probe_bounds exp_faults exp_scale; do
   echo "== $b (quick) =="
-  cargo run --quiet --release -p cmh-bench --bin "$b"
+  CMH_SCALE_MAX=10000 cargo run --quiet --release -p cmh-bench --bin "$b"
   test -f "$bench/$b.json" || { echo "missing bench record for $b" >&2; exit 1; }
   echo
 done
+echo "== exp_scale (quick, CMH_SHARDS=4) =="
+mv "$bench/exp_scale.json" "$bench/exp_scale.json.s1"
+CMH_SCALE_MAX=10000 CMH_SHARDS=4 cargo run --quiet --release -p cmh-bench --bin exp_scale
+mv "$bench/exp_scale.json" "$bench/exp_scale_s4.json"
+mv "$bench/exp_scale.json.s1" "$bench/exp_scale.json"
+echo
 echo "== liveness audit (batched stress workload) =="
 cargo run --quiet --release --example liveness_audit
 test -f "$out/liveness.json" || { echo "missing liveness.json" >&2; exit 1; }
@@ -37,19 +45,23 @@ echo
     cat "$f"
   done
   echo ']'
-} > "$out/BENCH_sim.json"
+} > "$out/BENCH_smoke.json"
 # Fail loudly if the assembled file is not valid JSON, or if any record
-# dropped the per-phase wall-clock columns (python3 is present on all CI
-# images; skip the check quietly where it is not).
+# dropped the per-phase wall-clock or scaling columns (python3 is present
+# on all CI images; skip the check quietly where it is not).
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$out/BENCH_sim.json" <<'PY'
+  python3 - "$out/BENCH_smoke.json" <<'PY'
 import json, sys
 records = json.load(open(sys.argv[1]))
 phase_cols = ("sim_ms", "detector_ms", "verify_ms", "oracle_ms")
+scale_cols = ("shards", "vertices", "peak_rss_bytes", "mem_bytes_per_vertex")
 for rec in records:
-    missing = [c for c in phase_cols if c not in rec]
+    missing = [c for c in phase_cols + scale_cols if c not in rec]
     if missing:
-        sys.exit(f"{rec.get('experiment', '?')}: missing phase columns {missing}")
+        sys.exit(f"{rec.get('experiment', '?')}: missing columns {missing}")
+scale = [r for r in records if r["experiment"] == "exp_scale"]
+if sorted(r["shards"] for r in scale) != [1, 4]:
+    sys.exit("expected exp_scale records at shards=1 and shards=4")
 PY
 fi
-echo "bench smoke OK: $out/BENCH_sim.json"
+echo "bench smoke OK: $out/BENCH_smoke.json"

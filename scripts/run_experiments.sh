@@ -3,13 +3,19 @@
 # markdown table plus a claim-check line; outputs land in target/experiments/.
 #
 # Performance records: instrumented binaries write detailed JSON
-# (events/sec, probes/sec, peak event-queue depth, and the per-phase
-# wall-clock split sim_ms/detector_ms/verify_ms/oracle_ms) to
+# (events/sec, probes/sec, peak event-queue depth, peak RSS and
+# bytes/vertex, and the per-phase wall-clock split
+# sim_ms/detector_ms/verify_ms/oracle_ms) to
 # target/experiments/bench/<exp>.json; this script times the rest and
-# assembles everything into target/experiments/BENCH_sim.json.
+# assembles everything into target/experiments/BENCH_sim.json. Every
+# E-series binary must contribute a record — a missing one fails the run
+# instead of silently shrinking the assembled file.
 #
 # Set CMH_PAR_SEEDS=1 to fan each experiment's independent seeded runs
-# out over threads — same tables, less wall clock.
+# out over threads — same tables, less wall clock. The sharded-engine
+# comparison section at the end re-runs exp_soundness and exp_scale under
+# CMH_SHARDS=4; those records land as <exp>_s4.json (same "experiment"
+# name inside, distinguished by the "shards" column).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="target/experiments"
@@ -29,6 +35,7 @@ bins=(
   exp_or_model
   exp_ablations
   exp_faults
+  exp_scale
 )
 cargo build --quiet --release -p cmh-bench
 for b in "${bins[@]}"; do
@@ -43,6 +50,36 @@ for b in "${bins[@]}"; do
   fi
   echo
 done
+
+echo "== sharded-engine comparison (CMH_SHARDS=4) =="
+for b in exp_soundness exp_scale; do
+  echo "-- $b (S=4) --"
+  # The S=4 run writes to the same <exp>.json slot; park the single-shard
+  # record, let the run land, rename it, restore the original.
+  mv "$bench/$b.json" "$bench/$b.json.s1"
+  CMH_SHARDS=4 cargo run --quiet --release -p cmh-bench --bin "$b" \
+    | tee "$out/${b}_s4.txt"
+  mv "$bench/$b.json" "$bench/${b}_s4.json"
+  mv "$bench/$b.json.s1" "$bench/$b.json"
+  echo
+done
+# Every expected record (E-series + the S=4 pair) must exist; fail loudly
+# instead of silently assembling a shrunken file.
+missing=0
+for b in "${bins[@]}"; do
+  if [ ! -f "$bench/$b.json" ]; then
+    echo "MISSING bench record: $b.json" >&2
+    missing=1
+  fi
+done
+for b in exp_soundness_s4 exp_scale_s4; do
+  if [ ! -f "$bench/$b.json" ]; then
+    echo "MISSING bench record: $b.json" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
 {
   echo '['
   first=1

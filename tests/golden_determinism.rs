@@ -30,6 +30,17 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 fn basic_digest(seed: u64) -> u64 {
+    basic_digest_sharded(seed, 1)
+}
+
+fn basic_digest_sharded(seed: u64, shards: usize) -> u64 {
+    basic_digest_opts(seed, shards, 0)
+}
+
+/// `workers == 0` leaves the worker count at its default (auto);
+/// a nonzero count pins it, forcing the threaded handler phase even on
+/// small configurations / single-core machines.
+fn basic_digest_opts(seed: u64, shards: usize, workers: usize) -> u64 {
     let sched = random_churn(&ChurnConfig {
         n: 8,
         duration: 2_000,
@@ -38,7 +49,10 @@ fn basic_digest(seed: u64) -> u64 {
         cycle_len: 3,
         seed,
     });
-    let builder = SimBuilder::new().seed(seed).trace(true);
+    let mut builder = SimBuilder::new().seed(seed).trace(true).shards(shards);
+    if workers > 0 {
+        builder = builder.workers(workers);
+    }
     let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(10), builder);
     drive_schedule(
         &mut net,
@@ -122,6 +136,14 @@ fn batched_ddb_runs_are_reproducible() {
 /// A chaos run: churn workload over a faulty network (loss + duplication +
 /// reordering + a crash/restart) with the reliable transport on top.
 fn chaos_digest(seed: u64) -> u64 {
+    chaos_digest_sharded(seed, 1)
+}
+
+fn chaos_digest_sharded(seed: u64, shards: usize) -> u64 {
+    chaos_digest_opts(seed, shards, 0)
+}
+
+fn chaos_digest_opts(seed: u64, shards: usize, workers: usize) -> u64 {
     let sched = random_churn(&ChurnConfig {
         n: 8,
         duration: 2_500,
@@ -139,11 +161,15 @@ fn chaos_digest(seed: u64) -> u64 {
             SimTime::from_ticks(900),
             Some(SimTime::from_ticks(1_400)),
         );
-    let builder = SimBuilder::new()
+    let mut builder = SimBuilder::new()
         .seed(seed)
         .trace(true)
         .faults(plan)
-        .reliable(ReliableConfig::default());
+        .reliable(ReliableConfig::default())
+        .shards(shards);
+    if workers > 0 {
+        builder = builder.workers(workers);
+    }
     let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(12), builder);
     drive_schedule(
         &mut net,
@@ -167,6 +193,10 @@ fn same_seed_and_fault_plan_give_identical_traces() {
 }
 
 fn metrics_digest(seed: u64) -> u64 {
+    metrics_digest_sharded(seed, 1)
+}
+
+fn metrics_digest_sharded(seed: u64, shards: usize) -> u64 {
     let sched = random_churn(&ChurnConfig {
         n: 10,
         duration: 3_000,
@@ -175,7 +205,8 @@ fn metrics_digest(seed: u64) -> u64 {
         cycle_len: 3,
         seed,
     });
-    let mut net = BasicNet::new(sched.n, BasicConfig::on_block(12), seed);
+    let builder = SimBuilder::new().seed(seed).shards(shards);
+    let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(12), builder);
     drive_schedule(
         &mut net,
         &sched,
@@ -218,4 +249,63 @@ fn digests_match_recorded_constants() {
     assert_eq!(chaos_digest(11), 0xaaa5_cc8c_8eed_08f5);
     assert_eq!(chaos_digest(12), 0xf1fb_088e_b31e_4c9a);
     assert_eq!(metrics_digest(7), 0x852a_fe84_4bc3_2c00);
+}
+
+/// The sharded conservative-window engine (PR 7) must be observationally
+/// *identical* to the sequential engine, not merely self-consistent: the
+/// same pinned constants must come out at every shard count. (The two DDB
+/// pins are exempt by design — the DDB controller draws from `ctx.rng()`
+/// inside handlers, which the sharded engine deliberately does not
+/// reproduce; DESIGN §12. DDB therefore always runs the sequential
+/// engine.)
+#[test]
+fn sharded_engine_reproduces_pinned_digests() {
+    for shards in [2, 4] {
+        assert_eq!(
+            basic_digest_sharded(42, shards),
+            0x5399_b8da_2d09_5087,
+            "basic seed 42, S={shards}"
+        );
+        assert_eq!(
+            basic_digest_sharded(43, shards),
+            0x4f80_75ae_5018_59e6,
+            "basic seed 43, S={shards}"
+        );
+        assert_eq!(
+            chaos_digest_sharded(11, shards),
+            0xaaa5_cc8c_8eed_08f5,
+            "chaos seed 11, S={shards}"
+        );
+        assert_eq!(
+            chaos_digest_sharded(12, shards),
+            0xf1fb_088e_b31e_4c9a,
+            "chaos seed 12, S={shards}"
+        );
+        assert_eq!(
+            metrics_digest_sharded(7, shards),
+            0x852a_fe84_4bc3_2c00,
+            "metrics seed 7, S={shards}"
+        );
+    }
+}
+
+/// Pinning a worker count >1 forces the *threaded* handler phase on every
+/// eligible window (the backlog-amortisation heuristic is bypassed), so
+/// this exercises `thread::scope` + chunked shard execution for real even
+/// on a single-core machine — and the digests must still match the pins:
+/// observable order is set by the barrier merge, never by thread timing.
+#[test]
+fn threaded_execution_reproduces_pinned_digests() {
+    for workers in [2, 4] {
+        assert_eq!(
+            basic_digest_opts(42, 4, workers),
+            0x5399_b8da_2d09_5087,
+            "basic seed 42, S=4, W={workers}"
+        );
+        assert_eq!(
+            chaos_digest_opts(11, 4, workers),
+            0xaaa5_cc8c_8eed_08f5,
+            "chaos seed 11, S=4, W={workers}"
+        );
+    }
 }
