@@ -313,7 +313,13 @@ impl BasicProcess {
 
     fn record(&self, ctx: &Context<'_, BasicMsg>, op: GraphOp) {
         if let Some(j) = &self.journal {
-            j.lock().expect("journal lock").record(ctx.now(), op);
+            // Keyed by the handling event's global seq: same-tick appends
+            // from the sharded engine's threaded handler phase arrive in
+            // thread-schedule order, and this key restores the canonical
+            // (sequential-engine) order inside the journal.
+            j.lock()
+                .expect("journal lock")
+                .record_at(ctx.now(), ctx.event_seq(), op);
         }
     }
 

@@ -165,17 +165,24 @@ type WindowLog<M> = (Vec<Item<M>>, Vec<(u64, u32)>);
 
 #[derive(Clone, Copy)]
 enum TimerSlot {
-    Free,
+    /// Released; keeps the retiring generation so reuse can bump past it
+    /// (mirroring the equeue slot scheme — a stale [`TimerId`] must never
+    /// alias the slot's next tenant).
+    Free { gen: u16 },
     /// Allocated this window; its `PushTimer` has not replayed yet.
-    Pending {
-        gen: u16,
-        cancelled: bool,
-    },
+    Pending { gen: u16, cancelled: bool },
     /// Armed in the shard queue.
-    Armed {
-        gen: u16,
-        entry: EntryId,
-    },
+    Armed { gen: u16, entry: EntryId },
+}
+
+impl TimerSlot {
+    fn gen(self) -> u16 {
+        match self {
+            TimerSlot::Free { gen }
+            | TimerSlot::Pending { gen, .. }
+            | TimerSlot::Armed { gen, .. } => gen,
+        }
+    }
 }
 
 /// Per-shard timer slab: `set_timer` must hand back a stable [`TimerId`]
@@ -194,13 +201,9 @@ impl TimerSlab {
         }
     }
 
-    fn alloc(&mut self, prev_gen_hint: u16) -> (u32, u16) {
+    fn alloc(&mut self) -> (u32, u16) {
         if let Some(slot) = self.free.pop() {
-            let gen = match self.slots[slot as usize] {
-                TimerSlot::Free => prev_gen_hint,
-                TimerSlot::Pending { gen, .. } | TimerSlot::Armed { gen, .. } => gen,
-            }
-            .wrapping_add(1);
+            let gen = self.slots[slot as usize].gen().wrapping_add(1);
             self.slots[slot as usize] = TimerSlot::Pending {
                 gen,
                 cancelled: false,
@@ -217,7 +220,8 @@ impl TimerSlab {
     }
 
     fn release(&mut self, slot: u32) {
-        self.slots[slot as usize] = TimerSlot::Free;
+        let gen = self.slots[slot as usize].gen();
+        self.slots[slot as usize] = TimerSlot::Free { gen };
         self.free.push(slot);
     }
 }
@@ -274,6 +278,10 @@ pub(crate) struct ShardLocal<M> {
     halted: bool,
     /// Events processed since the engine's current run call started.
     events: u64,
+    /// Seq of the event currently being handled; `u64::MAX` outside
+    /// handlers (driver code via `with_node`). Mirrors the sequential
+    /// core's field so `Context::event_seq` is engine-independent.
+    cur_seq: u64,
 }
 
 impl<M> ShardLocal<M> {
@@ -287,6 +295,10 @@ impl<M> ShardLocal<M> {
 
     pub(crate) fn ctx_tracing(&self) -> bool {
         self.tracing
+    }
+
+    pub(crate) fn ctx_event_seq(&self) -> u64 {
+        self.cur_seq
     }
 }
 
@@ -321,7 +333,7 @@ impl<M: fmt::Debug + Clone> ShardLocal<M> {
     }
 
     pub(crate) fn ctx_set_timer(&mut self, node: NodeId, delay: u64, tag: u64) -> TimerId {
-        let (slot, gen) = self.timers.alloc(0);
+        let (slot, gen) = self.timers.alloc();
         self.items.push(Item::Req(Req::PushTimer {
             node,
             slot,
@@ -337,8 +349,20 @@ impl<M: fmt::Debug + Clone> ShardLocal<M> {
             return; // sequential-engine id (or garbage): nothing it can name here
         };
         if shard != self.idx {
-            // Cross-shard cancel: resolves at the barrier. Safe because an
-            // armed timer always fires at least one tick in the future.
+            // A TimerId crossed a shard boundary: the contract is that ids
+            // stay private to the node that armed them (Context::
+            // cancel_timer docs; DESIGN §12) because a cancel resolved at
+            // the barrier loses the same-tick race the sequential engine
+            // decides by seq — the owning shard may fire the timer during
+            // the parallel pass before this request replays.
+            debug_assert!(
+                false,
+                "TimerId armed on shard {shard} cancelled from shard {}: \
+                 TimerIds must not be shared across nodes",
+                self.idx
+            );
+            // Release builds resolve it at the barrier as a best effort:
+            // a no-op if the timer fired this very tick, exact otherwise.
             self.items
                 .push(Item::Req(Req::CancelTimer { shard, slot, gen }));
             return;
@@ -518,6 +542,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> Shard<M, P> {
             let (_entry, (_, seq), ev) = self.local.queue.pop().expect("peeked entry");
             handled += 1;
             self.local.events += 1;
+            self.local.cur_seq = seq;
             self.local.metrics.inc(builtin::EVENTS);
             self.local.marks.push((seq, self.local.items.len() as u32));
             self.handle(ev);
@@ -807,6 +832,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> ShardedSim<M, P> {
                     tracing,
                     halted: false,
                     events: 0,
+                    cur_seq: u64::MAX,
                 },
                 procs: Vec::new(),
             })
@@ -976,6 +1002,7 @@ impl<M: fmt::Debug + Clone, P: Process<M>> ShardedSim<M, P> {
         let r = {
             let shard = &mut self.shards[s];
             shard.local.now = now;
+            shard.local.cur_seq = u64::MAX;
             debug_assert!(shard.local.items.is_empty() && shard.local.marks.is_empty());
             shard.local.marks.push((u64::MAX, 0));
             let mut ctx = Context::for_shard(id, &mut shard.local);
@@ -1050,16 +1077,31 @@ impl<M: fmt::Debug + Clone, P: Process<M>> ShardedSim<M, P> {
                 > 1;
         if use_threads {
             (self.par_exec.expect("checked above"))(&mut self.shards, tick, self.workers);
-        } else {
-            let mut remaining = limit;
+        } else if unlimited {
             for shard in &mut self.shards {
-                if remaining == 0 {
-                    break;
-                }
                 if shard.next_key().map(|(at, _)| at) == Some(tick) {
-                    let done = shard.pass1(tick, remaining);
-                    remaining = remaining.saturating_sub(done);
+                    shard.pass1(tick, u64::MAX);
                 }
+            }
+        } else {
+            // The budget may bind mid-window: it must truncate the window
+            // at the same point the sequential engine would, so take
+            // events one at a time in global (time, seq) order instead of
+            // handing shard 0 the whole budget ahead of lower-seq events
+            // on later shards. O(S) per event, but this path only runs
+            // when the `max_events` liveness backstop is about to fire.
+            let mut remaining = limit;
+            while remaining > 0 {
+                let due = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.next_key().map(|k| (k, i)))
+                    .filter(|&((at, _), _)| at == tick)
+                    .min();
+                let Some((_, i)) = due else { break };
+                self.shards[i].pass1(tick, 1);
+                remaining -= 1;
             }
         }
         self.barrier(tick);

@@ -258,6 +258,24 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
         }
     }
 
+    /// The global sequence number of the event this handler is running
+    /// for — a stable total order over handler activations, identical
+    /// between the sequential and sharded engines (the barrier replay
+    /// preserves seq assignment; see DESIGN §12). Driver code run via
+    /// `with_node` returns `u64::MAX`: on both engines it executes after
+    /// every already-processed same-tick handler.
+    ///
+    /// External recorders shared across nodes (e.g. a validation journal)
+    /// should order same-time records by this key: appends from the
+    /// sharded engine's threaded handler phase interleave by thread
+    /// schedule, and `(now, event_seq)` restores the canonical order.
+    pub fn event_seq(&self) -> u64 {
+        match &self.inner {
+            CtxInner::Single(core) => core.cur_seq,
+            CtxInner::Shard(local) => local.ctx_event_seq(),
+        }
+    }
+
     /// Sends `msg` to `to`; it will be delivered after a latency-model delay,
     /// in FIFO order with respect to other messages on the same channel.
     pub fn send(&mut self, to: NodeId, msg: M) {
@@ -280,10 +298,15 @@ impl<'a, M: fmt::Debug + Clone> Context<'a, M> {
     ///
     /// The timer event is removed from the scheduler immediately: a
     /// cancelled timer neither occupies queue memory nor counts as an
-    /// event when its due time passes. (On the sharded engine a cancel
-    /// addressed to *another* shard's timer takes effect at the current
-    /// window barrier — still strictly before the timer can fire, since
-    /// armed timers are always at least one tick in the future.)
+    /// event when its due time passes.
+    ///
+    /// A [`TimerId`] is private to the node that armed it: only that
+    /// node's own handlers (or driver code running against it) may cancel
+    /// it. Shipping an id to another node and cancelling there is
+    /// unsupported — on the sharded engine the foreign cancel resolves at
+    /// the window barrier, which loses the same-tick race against the
+    /// timer firing that the sequential engine decides by event seq
+    /// (debug builds assert; see DESIGN §12).
     pub fn cancel_timer(&mut self, id: TimerId) {
         match &mut self.inner {
             CtxInner::Single(core) => {
@@ -371,6 +394,9 @@ struct Core<M> {
     now: SimTime,
     queue: EventQueue<EventKind<M>>,
     seq: u64,
+    /// Seq of the event currently being handled; `u64::MAX` outside
+    /// handlers (driver code via `with_node`). See [`Context::event_seq`].
+    cur_seq: u64,
     /// Per-channel FIFO clocks, keyed `(from, to)` sparsely. A dense
     /// `[from][to]` table is two array lookups but O(N²) memory — at
     /// 10⁵+ nodes (the `exp_scale` sweep) the table, not the event
@@ -996,6 +1022,7 @@ impl SimBuilder {
                     now: SimTime::ZERO,
                     queue: EventQueue::new(),
                     seq: 0,
+                    cur_seq: u64::MAX,
                     channel_clock: BTreeMap::new(),
                     latency: self.latency,
                     rng,
@@ -1192,6 +1219,9 @@ impl<M: fmt::Debug + Clone, P: Process<M>> SingleSim<M, P> {
         f: impl FnOnce(&mut P, &mut Context<'_, M>) -> R,
     ) -> R {
         self.ensure_started();
+        // Driver code is not a handler: it runs after every already-
+        // processed event, so it sorts last among same-tick activations.
+        self.core.cur_seq = u64::MAX;
         let mut ctx = Context::for_core(id, &mut self.core);
         f(&mut self.procs[id.0], &mut ctx)
     }
@@ -1220,11 +1250,12 @@ impl<M: fmt::Debug + Clone, P: Process<M>> SingleSim<M, P> {
     /// Processes a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some((entry, (at, _), kind)) = self.core.queue.pop() else {
+        let Some((entry, (at, seq), kind)) = self.core.queue.pop() else {
             return false;
         };
         debug_assert!(at >= self.core.now, "time must not run backwards");
         self.core.now = at;
+        self.core.cur_seq = seq;
         self.core.metrics.inc(builtin::EVENTS);
         match kind {
             EventKind::Start(node) => {

@@ -85,6 +85,13 @@ impl fmt::Display for GraphOp {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Journal {
     entries: Vec<(SimTime, GraphOp)>,
+    /// Ordering tags parallel to `entries`: the recording event's global
+    /// seq (see [`Journal::record_at`]), or `u64::MAX` for plain
+    /// [`Journal::record`] appends. Same-time entries are kept sorted by
+    /// this tag so concurrent recorders (the sharded simulation's
+    /// threaded handler phase) produce a byte-reproducible journal.
+    #[serde(default)]
+    seqs: Vec<u64>,
 }
 
 impl Journal {
@@ -100,11 +107,54 @@ impl Journal {
     /// Panics (in debug builds) if `at` is earlier than the last entry —
     /// journals must be chronological.
     pub fn record(&mut self, at: SimTime, op: GraphOp) {
+        self.record_at(at, u64::MAX, op);
+    }
+
+    /// Records an operation observed at time `at` by the handler of the
+    /// event with global sequence number `seq` (see
+    /// `simnet::sim::Context::event_seq`).
+    ///
+    /// The entry is inserted so that same-time entries stay sorted by
+    /// `seq` (stable: equal keys keep arrival order). Handlers of a
+    /// sharded simulation's threaded window append under a lock in
+    /// thread-schedule order; sorting by the canonical event order makes
+    /// the final journal identical to the one the sequential engine
+    /// records. Insertion only ever lands inside the trailing same-time
+    /// span, so a [`ReplayCursor`] stays valid as long as it is not
+    /// seeked over a tick that is still being recorded (e.g. resuming a
+    /// run whose `max_events` budget stopped it mid-tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `at` is earlier than the last entry —
+    /// journals must be chronological.
+    pub fn record_at(&mut self, at: SimTime, seq: u64, op: GraphOp) {
         debug_assert!(
             self.entries.last().is_none_or(|&(t, _)| t <= at),
             "journal must be appended in chronological order"
         );
-        self.entries.push((at, op));
+        // Upper-bound binary search over (time, seq); entries predating
+        // the tag field (deserialized journals) sort as u64::MAX.
+        let key = (at, seq);
+        let mut lo = 0;
+        let mut hi = self.entries.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mid_key = (
+                self.entries[mid].0,
+                self.seqs.get(mid).copied().unwrap_or(u64::MAX),
+            );
+            if mid_key <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if self.seqs.len() < self.entries.len() {
+            self.seqs.resize(self.entries.len(), u64::MAX);
+        }
+        self.entries.insert(lo, (at, op));
+        self.seqs.insert(lo, seq);
     }
 
     /// All entries in order.

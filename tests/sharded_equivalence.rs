@@ -14,7 +14,7 @@ use cmh_core::{BasicConfig, BasicNet};
 use proptest::prelude::*;
 use simnet::faults::FaultPlan;
 use simnet::reliable::ReliableConfig;
-use simnet::sim::{NodeId, SimBuilder};
+use simnet::sim::{Context, NodeId, Process, SimBuilder, TimerId};
 use simnet::time::SimTime;
 use workloads::{drive_schedule, random_churn, ChurnConfig};
 
@@ -67,6 +67,142 @@ fn run(
     );
     net.run_to_quiescence(10_000_000);
     (net.trace().to_string(), net.metrics().to_string())
+}
+
+/// Arms a timer, lets it fire, re-arms (reusing the released slab slot on
+/// the sharded engine), then cancels with the *stale* first id. The fresh
+/// timer must still fire: slot generations have to survive release/realloc,
+/// or the stale cancel aliases the slot's next tenant.
+struct StaleCancelProc {
+    stale: Option<TimerId>,
+}
+
+impl Process<()> for StaleCancelProc {
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        self.stale = Some(ctx.set_timer(1, 1));
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _id: TimerId, tag: u64) {
+        match tag {
+            1 => {
+                // The fired timer's slot is free again; this re-arm reuses
+                // it. The stale id must then name a dead generation.
+                ctx.set_timer(1, 2);
+                let stale = self.stale.take().expect("armed in on_start");
+                ctx.cancel_timer(stale);
+            }
+            2 => ctx.count("fresh_timer_fired"),
+            _ => unreachable!("unknown tag"),
+        }
+    }
+}
+
+/// A stale-id cancel after slot reuse is a no-op on every engine: the
+/// fresh timer still fires (per node), identically at S ∈ {1, 2, 4}.
+#[test]
+fn stale_timer_cancel_does_not_hit_reused_slot() {
+    for shards in [1usize, 2, 4] {
+        let mut sim = SimBuilder::new().seed(7).shards(shards).build();
+        for _ in 0..4 {
+            sim.add_node(StaleCancelProc { stale: None });
+        }
+        let out = sim.run_to_quiescence(10_000);
+        assert!(out.quiescent, "S={shards}");
+        assert_eq!(
+            sim.metrics().get("fresh_timer_fired"),
+            4,
+            "S={shards}: stale cancel must not kill the reused slot's fresh timer"
+        );
+    }
+}
+
+/// When the `max_events` budget binds mid-run, the sharded engine must
+/// truncate at the same global `(time, seq)` prefix as the sequential
+/// engine — traces, metrics, and event counts stay identical even though
+/// the backstop fired.
+#[test]
+fn binding_event_budget_truncates_identically() {
+    // Budgets chosen to land mid-tick on a busy window (many same-tick
+    // probe deliveries) as well as on quiet ones.
+    for budget in [37u64, 250, 900] {
+        let mut results = Vec::new();
+        for shards in [1usize, 4] {
+            let sched = random_churn(&ChurnConfig {
+                n: 8,
+                duration: 800,
+                mean_gap: 20,
+                cycle_prob: 0.1,
+                cycle_len: 3,
+                seed: 13,
+            });
+            let builder = SimBuilder::new().seed(13).trace(true).shards(shards);
+            let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(8), builder);
+            drive_schedule(
+                &mut net,
+                &sched,
+                |x, at| {
+                    x.run_until(at);
+                },
+                |x, f, t| x.request(f, t).is_ok(),
+            );
+            let out = net.run_to_quiescence(budget);
+            results.push((
+                out.events,
+                net.trace().to_string(),
+                net.metrics().to_string(),
+            ));
+        }
+        let (seq, sharded) = (&results[0], &results[1]);
+        assert_eq!(seq.0, sharded.0, "budget={budget}: event counts diverged");
+        assert_eq!(seq.1, sharded.1, "budget={budget}: traces diverged");
+        assert_eq!(seq.2, sharded.2, "budget={budget}: metrics diverged");
+    }
+}
+
+/// The validation journal is a handler side effect recorded *outside* the
+/// engine, so the threaded handler phase appends under a lock in thread-
+/// schedule order. `Journal::record_at` re-sorts same-tick entries by the
+/// handling event's global seq, so snapshots must be identical across
+/// engines and worker counts.
+#[test]
+fn journal_snapshot_is_identical_across_shards_and_workers() {
+    let run = |shards: usize, workers: usize| {
+        let sched = random_churn(&ChurnConfig {
+            n: 8,
+            duration: 1_200,
+            mean_gap: 20,
+            cycle_prob: 0.1,
+            cycle_len: 3,
+            seed: 21,
+        });
+        let mut builder = SimBuilder::new().seed(21).shards(shards);
+        if workers > 0 {
+            builder = builder.workers(workers);
+        }
+        let mut net = BasicNet::with_builder(sched.n, BasicConfig::on_block(8), builder);
+        drive_schedule(
+            &mut net,
+            &sched,
+            |x, at| {
+                x.run_until(at);
+            },
+            |x, f, t| x.request(f, t).is_ok(),
+        );
+        net.run_to_quiescence(10_000_000);
+        net.journal_snapshot()
+    };
+    let sequential = run(1, 0);
+    assert!(!sequential.is_empty(), "workload must journal something");
+    for (shards, workers) in [(4, 0), (4, 2), (4, 4)] {
+        let sharded = run(shards, workers);
+        assert_eq!(
+            sequential.entries(),
+            sharded.entries(),
+            "journal diverged at S={shards}, W={workers}"
+        );
+    }
 }
 
 proptest! {
